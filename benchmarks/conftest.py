@@ -1,0 +1,36 @@
+"""Benchmark fixtures.
+
+The benches regenerate every table/figure at the paper's full scale; the
+scan→crawl→classify campaign is shared (Fig 1, Table I and Fig 2 are stages
+of one pipeline, exactly as in the paper).  Each bench writes its
+paper-vs-measured report to ``benchmarks/reports/`` so EXPERIMENTS.md can be
+refreshed from artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.pipeline import MeasurementPipeline
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def full_pipeline():
+    """Full-scale (39,824-onion) scan/crawl/classify campaign."""
+    return MeasurementPipeline(seed=0, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+def save_report(report_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a report artifact and echo it for -s runs."""
+    (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")

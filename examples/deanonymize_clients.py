@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Opportunistically deanonymise clients of a popular hidden service
+(the Section VI / Fig 3 pipeline).
+
+The attacker holds the target's responsible HSDirs (keys ground next to the
+predictable descriptor IDs) and a slice of guard capacity; descriptor
+responses are wrapped in a traffic signature that the attacker's guards
+recognise, revealing client IPs.  The captured IPs are resolved to a
+country-level map.
+
+Run:  python examples/deanonymize_clients.py
+"""
+
+from repro.experiments import run_fig3
+
+SEED = 13
+
+
+def main() -> None:
+    result = run_fig3(
+        seed=SEED,
+        honest_relays=500,
+        attacker_guards=14,
+        client_count=2500,
+        observation_days=2,
+        fetches_per_client_per_day=3.0,
+    )
+
+    print(f"attacker guard-bandwidth share : {result.attacker_guard_share:.2%}")
+    print(f"signatures injected            : {result.signatures_injected}")
+    print(f"clients captured               : {result.captures} fetches, "
+          f"{result.unique_clients} unique IPs")
+    print(f"capture rate                   : {result.capture_rate:.2%} "
+          f"(≈ the guard share — the attack is opportunistic)")
+
+    print("\nClient geography of the target service (Fig 3):")
+    print(result.format_map())
+
+    print("\nInterpretation (Section VI): a Silk Road *seller* logs in "
+          "periodically and would appear here with a recurring IP; catching "
+          "even a few such patterns is what the paper warns about.")
+
+
+if __name__ == "__main__":
+    main()

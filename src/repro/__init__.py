@@ -1,0 +1,124 @@
+"""repro — a reproduction of *Content and popularity analysis of Tor hidden
+services* (Biryukov, Pustogarov, Thill, Weinmann; ICDCS 2014).
+
+The library has three layers:
+
+* **Substrates** — a deterministic discrete-event Tor network simulator:
+  :mod:`repro.sim` (time/events/RNG), :mod:`repro.crypto` (v2 onion and
+  descriptor-ID math), :mod:`repro.net` (addresses, transport, GeoIP),
+  :mod:`repro.relay` / :mod:`repro.dirauth` (relays, flags, consensus),
+  :mod:`repro.hsdir` / :mod:`repro.hs` / :mod:`repro.client` (directories,
+  services, clients), and :mod:`repro.population` (the calibrated synthetic
+  hidden-service world).
+* **Measurement pipeline** — the paper's contribution: :mod:`repro.trawl`
+  (shadow-relay harvesting), :mod:`repro.scan` (port scanning),
+  :mod:`repro.crawl` + :mod:`repro.classify` (content analysis),
+  :mod:`repro.popularity` (request-rate ranking), :mod:`repro.tracking`
+  (client deanonymisation) and :mod:`repro.detection` (consensus-history
+  tracking detection).
+* **Experiments** — :mod:`repro.experiments` regenerates every table and
+  figure; :mod:`repro.analysis` holds the reporting helpers.
+
+Quickstart::
+
+    from repro import TorNetwork, HiddenService, KeyPair, derive_rng
+    from repro.sim import SimClock, parse_date
+
+    net = TorNetwork(clock=SimClock(parse_date("2013-02-04")))
+    ...
+
+See README.md and the ``examples/`` directory.
+"""
+
+from repro.errors import (
+    ReproError,
+    SimulationError,
+    CryptoError,
+    NetworkError,
+    ConsensusError,
+    DescriptorError,
+    AttackError,
+    ClassificationError,
+    PopulationError,
+)
+from repro.sim import SimClock, EventEngine, derive_rng, parse_date, format_date
+from repro.crypto import (
+    KeyPair,
+    FingerprintRing,
+    onion_address_from_key,
+    descriptor_id,
+    descriptor_ids_for_day,
+)
+from repro.relay import Relay, RelayFlags
+from repro.dirauth import Consensus, ConsensusArchive, DirectoryAuthoritySet, FlagPolicy
+from repro.tornet import TorNetwork, FetchTrace
+from repro.hs import HiddenService, PublishScheduler
+from repro.client import TorClient, GuardSet, PopularityWorkload, WorkloadSpec
+from repro.population import PopulationSpec, generate_population
+from repro.trawl import TrawlAttack, TrawlConfig
+from repro.scan import PortScanner, ScanSchedule
+from repro.crawl import Crawler, apply_exclusions
+from repro.classify import build_language_detector, build_topic_classifier
+from repro.popularity import DescriptorResolver, PopularityRanking
+from repro.tracking import ClientDeanonAttack, ClientGeoMap, ServiceDeanonAttack
+from repro.detection import SilkroadStudy, SilkroadStudyConfig, TrackingAnalyzer
+from repro.worldbuild import HonestNetworkSpec, build_honest_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "CryptoError",
+    "NetworkError",
+    "ConsensusError",
+    "DescriptorError",
+    "AttackError",
+    "ClassificationError",
+    "PopulationError",
+    "SimClock",
+    "EventEngine",
+    "derive_rng",
+    "parse_date",
+    "format_date",
+    "KeyPair",
+    "FingerprintRing",
+    "onion_address_from_key",
+    "descriptor_id",
+    "descriptor_ids_for_day",
+    "Relay",
+    "RelayFlags",
+    "Consensus",
+    "ConsensusArchive",
+    "DirectoryAuthoritySet",
+    "FlagPolicy",
+    "TorNetwork",
+    "FetchTrace",
+    "HiddenService",
+    "PublishScheduler",
+    "TorClient",
+    "GuardSet",
+    "PopularityWorkload",
+    "WorkloadSpec",
+    "PopulationSpec",
+    "generate_population",
+    "TrawlAttack",
+    "TrawlConfig",
+    "PortScanner",
+    "ScanSchedule",
+    "Crawler",
+    "apply_exclusions",
+    "build_language_detector",
+    "build_topic_classifier",
+    "DescriptorResolver",
+    "PopularityRanking",
+    "ClientDeanonAttack",
+    "ClientGeoMap",
+    "ServiceDeanonAttack",
+    "SilkroadStudy",
+    "SilkroadStudyConfig",
+    "TrackingAnalyzer",
+    "HonestNetworkSpec",
+    "build_honest_network",
+    "__version__",
+]

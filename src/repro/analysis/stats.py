@@ -1,0 +1,75 @@
+"""Small statistics helpers for comparing measured vs published values."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / |expected| (0 when both are zero).
+
+    >>> relative_error(110, 100)
+    0.1
+    """
+    if expected == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - expected) / abs(expected)
+
+
+def l1_distance(
+    left: Dict[str, float], right: Dict[str, float]
+) -> float:
+    """Total variation-style distance between two share tables.
+
+    Keys missing from either side count as zero on that side.
+
+    >>> l1_distance({"a": 0.6, "b": 0.4}, {"a": 0.5, "b": 0.5})
+    0.2
+    """
+    keys = set(left) | set(right)
+    return sum(abs(left.get(k, 0.0) - right.get(k, 0.0)) for k in keys)
+
+
+def share_table(counts: Dict[str, int]) -> Dict[str, float]:
+    """Normalise a count table into shares summing to 1."""
+    total = sum(counts.values())
+    if total < 0:
+        raise ReproError("negative total in share table")
+    if total == 0:
+        return {key: 0.0 for key in counts}
+    return {key: value / total for key, value in counts.items()}
+
+
+def pearson_rank_correlation(
+    expected_order: Sequence[str], measured_order: Sequence[str]
+) -> float:
+    """Spearman's rho between two orderings of (a superset of) one item set.
+
+    Items missing from either ordering are ignored; with fewer than two
+    common items the correlation is defined as 1.0 (nothing to disagree
+    about).
+    """
+    common = [item for item in expected_order if item in set(measured_order)]
+    if len(common) < 2:
+        return 1.0
+    expected_rank = {item: i for i, item in enumerate(common)}
+    measured_rank = {
+        item: i
+        for i, item in enumerate(
+            [item for item in measured_order if item in expected_rank]
+        )
+    }
+    n = len(common)
+    d_squared = sum(
+        (expected_rank[item] - measured_rank[item]) ** 2 for item in common
+    )
+    return 1.0 - 6.0 * d_squared / (n * (n * n - 1))
+
+
+def head_counts(
+    pairs: Iterable[Tuple[str, int]], head: int
+) -> List[Tuple[str, int]]:
+    """The ``head`` largest (label, count) pairs, descending."""
+    return sorted(pairs, key=lambda p: (-p[1], p[0]))[:head]

@@ -1,0 +1,51 @@
+"""Text rendering of tables and bar charts (terminal figures)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_rows(
+    rows: Sequence[Tuple], headers: Sequence[str], pad: int = 2
+) -> str:
+    """Align tuples into a text table.
+
+    >>> print(format_rows([("a", 1)], headers=("k", "v")))
+    k  v
+    a  1
+    """
+    table = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in table:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    sep = " " * pad
+    lines = [sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()]
+    for row in table:
+        lines.append(
+            sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    rows: Sequence[Tuple[str, float]], width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal text bars (the offline stand-in for Fig 1 / Fig 2).
+
+    >>> print(format_bar_chart([("x", 2.0), ("y", 1.0)], width=4))
+    x  2 ████
+    y  1 ██
+    """
+    if not rows:
+        return "(empty)"
+    peak = max(value for _, value in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    value_width = max(len(f"{value:g}") for _, value in rows)
+    lines: List[str] = []
+    for label, value in rows:
+        bar = "█" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{label:<{label_width}}  {value:>{value_width}g}{unit} {bar}".rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Classifier evaluation: confusion matrices, accuracy, per-class scores.
+
+The paper leaned on off-the-shelf classifiers (Langdetect, Mallet,
+uClassify) without reporting their error rates; a reproduction should
+measure its own.  These utilities score any ``predict(text) -> label``
+callable against labelled samples and render the confusion structure, so
+EXPERIMENTS.md-style reports can state classification quality instead of
+assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.errors import ClassificationError
+
+
+@dataclass
+class EvaluationResult:
+    """Scores for one classifier over one labelled sample set."""
+
+    # confusion[true_label][predicted_label] = count
+    confusion: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record(self, truth: str, predicted: str) -> None:
+        """Account one prediction."""
+        self.confusion.setdefault(truth, {}).setdefault(predicted, 0)
+        self.confusion[truth][predicted] += 1
+
+    @property
+    def total(self) -> int:
+        """Number of scored samples."""
+        return sum(sum(row.values()) for row in self.confusion.values())
+
+    @property
+    def correct(self) -> int:
+        """Samples predicted exactly right."""
+        return sum(
+            row.get(truth, 0) for truth, row in self.confusion.items()
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Overall accuracy."""
+        return self.correct / self.total if self.total else 0.0
+
+    def labels(self) -> List[str]:
+        """Every label seen as truth or prediction, sorted."""
+        seen = set(self.confusion)
+        for row in self.confusion.values():
+            seen.update(row)
+        return sorted(seen)
+
+    def recall(self, label: str) -> float:
+        """Of the samples truly ``label``, the fraction predicted so."""
+        row = self.confusion.get(label, {})
+        support = sum(row.values())
+        return row.get(label, 0) / support if support else 0.0
+
+    def precision(self, label: str) -> float:
+        """Of the samples predicted ``label``, the fraction truly so."""
+        predicted = sum(
+            row.get(label, 0) for row in self.confusion.values()
+        )
+        hit = self.confusion.get(label, {}).get(label, 0)
+        return hit / predicted if predicted else 0.0
+
+    def worst_confusions(self, limit: int = 5) -> List[Tuple[str, str, int]]:
+        """The most frequent (truth, predicted) error pairs."""
+        errors = [
+            (truth, predicted, count)
+            for truth, row in self.confusion.items()
+            for predicted, count in row.items()
+            if predicted != truth
+        ]
+        errors.sort(key=lambda e: (-e[2], e[0], e[1]))
+        return errors[:limit]
+
+    def format_summary(self) -> str:
+        """Human-readable accuracy + worst-confusion summary."""
+        lines = [
+            f"accuracy: {self.correct}/{self.total} ({self.accuracy:.1%})"
+        ]
+        for truth, predicted, count in self.worst_confusions():
+            lines.append(f"  {truth} -> {predicted}: {count}")
+        return "\n".join(lines)
+
+
+def evaluate(
+    predict: Callable[[str], str],
+    samples: Iterable[Tuple[str, str]],
+) -> EvaluationResult:
+    """Score ``predict`` over (text, true_label) samples."""
+    result = EvaluationResult()
+    scored = 0
+    for text, truth in samples:
+        result.record(truth, predict(text))
+        scored += 1
+    if not scored:
+        raise ClassificationError("no samples to evaluate")
+    return result
+
+
+def held_out_language_samples(
+    per_language: int = 10, words: int = 120, seed: int = 0xE7A1
+) -> List[Tuple[str, str]]:
+    """Fresh labelled pages for every language (disjoint from training:
+    the training corpus uses its own fixed internal seed)."""
+    from repro.population.content import synth_language_page
+    from repro.population.corpus import LANGUAGES
+    from repro.sim.rng import derive_rng
+
+    rng = derive_rng(seed, "eval", "language")
+    return [
+        (synth_language_page(language, rng, word_count=words), language)
+        for language in LANGUAGES
+        for _ in range(per_language)
+    ]
+
+
+def held_out_topic_samples(
+    per_topic: int = 10, words: int = 150, seed: int = 0xE7A2
+) -> List[Tuple[str, str]]:
+    """Fresh labelled pages for every topic."""
+    from repro.population.content import synth_topic_page
+    from repro.population.corpus import TOPICS
+    from repro.sim.rng import derive_rng
+
+    rng = derive_rng(seed, "eval", "topics")
+    return [
+        (synth_topic_page(topic, rng, word_count=words), topic)
+        for topic in TOPICS
+        for _ in range(per_topic)
+    ]

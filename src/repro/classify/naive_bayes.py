@@ -1,0 +1,110 @@
+"""Multinomial naive Bayes, from scratch.
+
+The shared core of both classifiers.  Log-space scoring with Laplace
+smoothing; out-of-vocabulary tokens fall back to the smoothed unseen-token
+probability so exotic inputs degrade gracefully instead of crashing.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ClassificationError
+
+
+@dataclass
+class MultinomialNaiveBayes:
+    """A multinomial naive Bayes classifier over token sequences."""
+
+    smoothing: float = 1.0
+    _classes: List[str] = field(default_factory=list)
+    _log_prior: Dict[str, float] = field(default_factory=dict)
+    _log_likelihood: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    _log_unseen: Dict[str, float] = field(default_factory=dict)
+    _vocabulary: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.smoothing <= 0:
+            raise ClassificationError(f"smoothing must be positive: {self.smoothing}")
+
+    @property
+    def classes(self) -> List[str]:
+        """Known class labels (sorted)."""
+        return list(self._classes)
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return bool(self._classes)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Distinct training tokens."""
+        return len(self._vocabulary)
+
+    def fit(
+        self,
+        documents: Sequence[Iterable[str]],
+        labels: Sequence[str],
+    ) -> "MultinomialNaiveBayes":
+        """Train on ``documents`` (token iterables) with parallel ``labels``."""
+        if len(documents) != len(labels):
+            raise ClassificationError(
+                f"{len(documents)} documents but {len(labels)} labels"
+            )
+        if not documents:
+            raise ClassificationError("cannot fit on an empty corpus")
+        class_doc_counts: Counter = Counter(labels)
+        token_counts: Dict[str, Counter] = {label: Counter() for label in class_doc_counts}
+        for tokens, label in zip(documents, labels):
+            counter = token_counts[label]
+            for token in tokens:
+                counter[token] += 1
+                self._vocabulary.add(token)
+        if not self._vocabulary:
+            raise ClassificationError("training corpus contains no tokens")
+
+        self._classes = sorted(class_doc_counts)
+        total_docs = len(documents)
+        vocab = len(self._vocabulary)
+        for label in self._classes:
+            self._log_prior[label] = math.log(class_doc_counts[label] / total_docs)
+            counts = token_counts[label]
+            denominator = sum(counts.values()) + self.smoothing * vocab
+            self._log_likelihood[label] = {
+                token: math.log((count + self.smoothing) / denominator)
+                for token, count in counts.items()
+            }
+            self._log_unseen[label] = math.log(self.smoothing / denominator)
+        return self
+
+    def log_scores(self, tokens: Iterable[str]) -> Dict[str, float]:
+        """Unnormalised log posterior per class."""
+        if not self.is_fitted:
+            raise ClassificationError("classifier is not fitted")
+        scores = dict(self._log_prior)
+        for token in tokens:
+            if token not in self._vocabulary:
+                # OOV tokens shift every class equally — skip them.
+                continue
+            for label in self._classes:
+                scores[label] += self._log_likelihood[label].get(
+                    token, self._log_unseen[label]
+                )
+        return scores
+
+    def predict(self, tokens: Iterable[str]) -> str:
+        """Most probable class (ties broken alphabetically for determinism)."""
+        scores = self.log_scores(list(tokens))
+        return min(scores, key=lambda label: (-scores[label], label))
+
+    def predict_with_confidence(self, tokens: Iterable[str]) -> Tuple[str, float]:
+        """(label, posterior probability) via a stable soft-max."""
+        scores = self.log_scores(list(tokens))
+        best = min(scores, key=lambda label: (-scores[label], label))
+        peak = scores[best]
+        total = sum(math.exp(score - peak) for score in scores.values())
+        return best, 1.0 / total

@@ -1,0 +1,45 @@
+"""Tokenizers for the two classification tasks."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def word_tokens(text: str) -> List[str]:
+    """Lowercased word tokens, punctuation-stripped.
+
+    >>> word_tokens("Hello, Onion World!")
+    ['hello', 'onion', 'world']
+    """
+    tokens: List[str] = []
+    for raw in text.lower().split():
+        token = "".join(ch for ch in raw if ch.isalnum() or ch in "'-")
+        token = token.strip("'-")
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+def char_ngrams(text: str, orders: Iterable[int] = (1, 2, 3)) -> List[str]:
+    """Character n-grams with word-boundary padding (Langdetect-style).
+
+    Boundary underscores make affixes distinctive ("_th", "ng_"), which is
+    where much of a language's character signal lives.
+
+    >>> char_ngrams("ab", orders=(2,))
+    ['_a', 'ab', 'b_']
+    """
+    grams: List[str] = []
+    for raw in text.lower().split():
+        padded = f"_{raw}_"
+        for order in orders:
+            if order < 1:
+                continue
+            if len(padded) < order:
+                continue
+            for i in range(len(padded) - order + 1):
+                gram = padded[i : i + order]
+                if gram == "_" * order:
+                    continue
+                grams.append(gram)
+    return grams

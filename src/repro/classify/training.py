@@ -1,0 +1,63 @@
+"""Built-in training corpora.
+
+The paper's tools shipped pre-trained (Langdetect's language profiles,
+uClassify's hosted models).  The offline equivalent: synthesise labelled
+training documents from the corpus vocabularies with a *fixed internal
+seed*, decoupled from every experiment seed — the classifiers are the same
+pre-trained artifact for all experiments, never fitted on the pages they
+will classify.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.classify.language import LanguageDetector
+from repro.classify.topics import TopicClassifier
+from repro.population.content import synth_language_page, synth_topic_page
+from repro.population.corpus import LANGUAGES, TOPICS
+from repro.sim.rng import derive_rng
+
+_TRAINING_SEED = 0xC1A551F1  # fixed: the shipped, pre-trained model
+
+
+def language_training_corpus(
+    docs_per_language: int = 40, words_per_doc: int = 120
+) -> Tuple[List[str], List[str]]:
+    """(texts, labels) covering all 17 languages."""
+    rng = derive_rng(_TRAINING_SEED, "training", "language")
+    texts: List[str] = []
+    labels: List[str] = []
+    for language in LANGUAGES:
+        for _ in range(docs_per_language):
+            texts.append(
+                synth_language_page(language, rng, word_count=words_per_doc)
+            )
+            labels.append(language)
+    return texts, labels
+
+
+def topic_training_corpus(
+    docs_per_topic: int = 60, words_per_doc: int = 150
+) -> Tuple[List[str], List[str]]:
+    """(texts, labels) covering all 18 topics."""
+    rng = derive_rng(_TRAINING_SEED, "training", "topics")
+    texts: List[str] = []
+    labels: List[str] = []
+    for topic in TOPICS:
+        for _ in range(docs_per_topic):
+            texts.append(synth_topic_page(topic, rng, word_count=words_per_doc))
+            labels.append(topic)
+    return texts, labels
+
+
+def build_language_detector() -> LanguageDetector:
+    """The shipped language model (deterministic)."""
+    texts, labels = language_training_corpus()
+    return LanguageDetector().fit(texts, labels)
+
+
+def build_topic_classifier() -> TopicClassifier:
+    """The shipped topic model (deterministic)."""
+    texts, labels = topic_training_corpus()
+    return TopicClassifier().fit(texts, labels)

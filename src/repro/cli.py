@@ -1,0 +1,268 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+::
+
+    python -m repro fig1   --scale 0.1
+    python -m repro table1 --scale 0.1 --seed 3
+    python -m repro fig2   --scale 0.1
+    python -m repro table2 --scale 0.05 --sweep-hours 6
+    python -m repro fig3   --clients 2000 --guards 12
+    python -m repro sec7   --scale 0.3
+    python -m repro harvest --scale 0.05 --ips 20
+    python -m repro all    --scale 0.05
+
+``--json PATH`` archives the paper-vs-measured report via :mod:`repro.io`.
+Scale 1.0 is the paper's full size; small scales run in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import io as repro_io
+from repro.analysis.report import ExperimentReport
+
+
+def _add_common(parser: argparse.ArgumentParser, scale_default: float = 0.1) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=scale_default,
+        help="world scale (1.0 = the paper's 39,824 onions)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="archive the report as JSON"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Content and popularity analysis of Tor hidden "
+            "services' (ICDCS 2014): regenerate any table or figure."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, text in (
+        ("fig1", "Fig 1: open-ports distribution + TLS findings"),
+        ("table1", "Table I: HTTP(S)-connectable destinations"),
+        ("fig2", "Fig 2: topic distribution + language statistics"),
+    ):
+        _add_common(sub.add_parser(name, help=text))
+
+    table2 = sub.add_parser("table2", help="Table II: popularity ranking")
+    _add_common(table2, scale_default=0.05)
+    table2.add_argument("--sweep-hours", type=int, default=6)
+    table2.add_argument("--rotation-hours", type=int, default=1)
+    table2.add_argument("--relays-per-ip", type=int, default=16)
+    table2.add_argument("--thinning", type=float, default=1.0)
+    table2.add_argument("--top", type=int, default=30, help="ranking rows to print")
+
+    fig3 = sub.add_parser("fig3", help="Fig 3: client deanonymisation geomap")
+    fig3.add_argument("--seed", type=int, default=0)
+    fig3.add_argument("--relays", type=int, default=400)
+    fig3.add_argument("--guards", type=int, default=12)
+    fig3.add_argument("--clients", type=int, default=1500)
+    fig3.add_argument("--days", type=int, default=2)
+    fig3.add_argument("--json", metavar="PATH", default=None)
+
+    sec6 = sub.add_parser("sec6", help="§VI: Silk Road seller identification")
+    sec6.add_argument("--seed", type=int, default=0)
+    sec6.add_argument("--relays", type=int, default=400)
+    sec6.add_argument("--guards", type=int, default=14)
+    sec6.add_argument("--buyers", type=int, default=800)
+    sec6.add_argument("--sellers", type=int, default=40)
+    sec6.add_argument("--days", type=int, default=7)
+    sec6.add_argument("--json", metavar="PATH", default=None)
+
+    sec7 = sub.add_parser("sec7", help="§VII: Silk Road tracking detection")
+    _add_common(sec7, scale_default=0.25)
+
+    harvest = sub.add_parser("harvest", help="shadow-relay harvest validation")
+    _add_common(harvest, scale_default=0.05)
+    harvest.add_argument("--ips", type=int, default=20)
+    harvest.add_argument("--relays-per-ip", type=int, default=16)
+    harvest.add_argument("--sweep-hours", type=int, default=10)
+
+    everything = sub.add_parser("all", help="run every experiment (small scale)")
+    _add_common(everything, scale_default=0.05)
+
+    return parser
+
+
+def _emit(report: ExperimentReport, extra: str = "", json_path: Optional[str] = None) -> None:
+    print(report.format())
+    if extra:
+        print()
+        print(extra)
+    if json_path:
+        repro_io.save_json(repro_io.report_to_dict(report), json_path)
+        print(f"\n[report archived to {json_path}]")
+
+
+def _run_fig1(args) -> ExperimentReport:
+    from repro.experiments import run_fig1
+
+    result = run_fig1(seed=args.seed, scale=args.scale)
+    _emit(result.report, result.format_figure(), args.json)
+    return result.report
+
+
+def _run_table1(args) -> ExperimentReport:
+    from repro.experiments import run_table1
+
+    result = run_table1(seed=args.seed, scale=args.scale)
+    _emit(result.report, result.format_table(), args.json)
+    return result.report
+
+
+def _run_fig2(args) -> ExperimentReport:
+    from repro.experiments import run_fig2
+
+    result = run_fig2(seed=args.seed, scale=args.scale)
+    _emit(result.report, result.format_figure(), args.json)
+    return result.report
+
+
+def _run_table2(args) -> ExperimentReport:
+    from repro.experiments import run_table2
+
+    result = run_table2(
+        seed=args.seed,
+        scale=args.scale,
+        sweep_hours=args.sweep_hours,
+        rotation_interval_hours=args.rotation_hours,
+        relays_per_ip=args.relays_per_ip,
+        thinning=args.thinning,
+    )
+    _emit(result.report, result.ranking.format_table(limit=args.top), args.json)
+    return result.report
+
+
+def _run_fig3(args) -> ExperimentReport:
+    from repro.experiments import run_fig3
+
+    result = run_fig3(
+        seed=args.seed,
+        honest_relays=args.relays,
+        attacker_guards=args.guards,
+        client_count=args.clients,
+        observation_days=args.days,
+    )
+    _emit(result.report, result.format_map(), args.json)
+    return result.report
+
+
+def _run_sec6(args) -> ExperimentReport:
+    from repro.experiments import run_sec6
+
+    result = run_sec6(
+        seed=args.seed,
+        honest_relays=args.relays,
+        attacker_guards=args.guards,
+        buyer_count=args.buyers,
+        seller_count=args.sellers,
+        observation_days=args.days,
+    )
+    _emit(result.report, json_path=args.json)
+    return result.report
+
+
+def _run_sec7(args) -> ExperimentReport:
+    from repro.experiments import run_sec7
+
+    result = run_sec7(seed=args.seed, scale=args.scale)
+    _emit(result.report, json_path=args.json)
+    return result.report
+
+
+def _run_harvest(args) -> ExperimentReport:
+    from repro.experiments import run_harvest
+
+    result = run_harvest(
+        seed=args.seed,
+        scale=args.scale,
+        ip_count=args.ips,
+        relays_per_ip=args.relays_per_ip,
+        sweep_hours=args.sweep_hours,
+    )
+    _emit(result.report, json_path=args.json)
+    return result.report
+
+
+def _run_all(args) -> ExperimentReport:
+    from repro.experiments import (
+        run_fig1,
+        run_fig2,
+        run_fig3,
+        run_harvest,
+        run_sec7,
+        run_table1,
+        run_table2,
+    )
+    from repro.experiments.pipeline import MeasurementPipeline
+
+    pipeline = MeasurementPipeline(seed=args.seed, scale=args.scale)
+    summary = ExperimentReport(experiment="all-experiments")
+    stages = [
+        ("fig1", lambda: run_fig1(pipeline=pipeline)),
+        ("table1", lambda: run_table1(pipeline=pipeline)),
+        ("fig2", lambda: run_fig2(pipeline=pipeline)),
+        (
+            "table2",
+            lambda: run_table2(
+                seed=args.seed,
+                scale=args.scale,
+                sweep_hours=6,
+                rotation_interval_hours=1,
+                relays_per_ip=16,
+            ),
+        ),
+        ("fig3", lambda: run_fig3(seed=args.seed, honest_relays=300, client_count=800)),
+        ("sec7", lambda: run_sec7(seed=args.seed, scale=max(0.1, args.scale * 4))),
+        (
+            "harvest",
+            lambda: run_harvest(
+                seed=args.seed, scale=args.scale, ip_count=16, relays_per_ip=16
+            ),
+        ),
+    ]
+    for name, runner in stages:
+        started = time.time()
+        result = runner()
+        elapsed = time.time() - started
+        print(result.report.format())
+        print(f"[{name} done in {elapsed:.1f}s]\n")
+        summary.add(f"{name} max rel. error", None, round(result.report.max_error(), 3))
+    _emit(summary, json_path=args.json)
+    return summary
+
+
+_RUNNERS = {
+    "fig1": _run_fig1,
+    "table1": _run_table1,
+    "fig2": _run_fig2,
+    "table2": _run_table2,
+    "fig3": _run_fig3,
+    "sec6": _run_sec6,
+    "sec7": _run_sec7,
+    "harvest": _run_harvest,
+    "all": _run_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    _RUNNERS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

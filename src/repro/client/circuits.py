@@ -1,0 +1,131 @@
+"""Circuit construction.
+
+A Tor circuit is a telescoped path through three relays: the entry guard
+(from the client's guard set), a middle, and a final hop whose role depends
+on purpose (exit, rendezvous point, or the directory/introduction relay
+itself).  The simulator models the parts the study observes — who the hops
+are — not the cryptography between them.
+
+Path selection follows the properties that matter here: the first hop is
+always a guard from the pinned set (the entire §VI attack economics), later
+hops are bandwidth-weighted, and no relay (or IP) appears twice in a path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.client.guards import GuardSet
+from repro.crypto.keys import Fingerprint
+from repro.dirauth.consensus import Consensus, ConsensusEntry
+from repro.errors import SimulationError
+from repro.relay.flags import RelayFlags
+
+CIRCUIT_LENGTH = 3
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A built path.  ``hops[0]`` is the guard."""
+
+    hops: Tuple[Fingerprint, ...]
+    purpose: str = "general"
+
+    def __post_init__(self) -> None:
+        if len(self.hops) < 1:
+            raise SimulationError("a circuit needs at least one hop")
+        if len(set(self.hops)) != len(self.hops):
+            raise SimulationError("circuit reuses a relay")
+
+    @property
+    def guard(self) -> Fingerprint:
+        """The entry hop."""
+        return self.hops[0]
+
+    @property
+    def last_hop(self) -> Fingerprint:
+        """The hop that touches the destination (exit / RP / directory)."""
+        return self.hops[-1]
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+
+class CircuitBuilder:
+    """Builds circuits against a consensus for one client/service identity."""
+
+    def __init__(self, guards: GuardSet, rng: random.Random) -> None:
+        self._guards = guards
+        self._rng = rng
+        self.circuits_built = 0
+
+    def build(
+        self,
+        consensus: Consensus,
+        purpose: str = "general",
+        length: int = CIRCUIT_LENGTH,
+        final_hop: Optional[Fingerprint] = None,
+        exclude: Sequence[Fingerprint] = (),
+    ) -> Circuit:
+        """Build a circuit.
+
+        ``final_hop`` pins the last relay (connecting to an introduction
+        point or a chosen rendezvous point); intermediate hops are
+        bandwidth-weighted draws over Fast relays.
+        """
+        if length < 1:
+            raise SimulationError(f"circuit length must be positive: {length}")
+        if not self._guards.fingerprints:
+            raise SimulationError("guard set is empty; refresh before building")
+        excluded: Set[Fingerprint] = set(exclude)
+        hops: List[Fingerprint] = []
+
+        guard = self._pick_guard(excluded | ({final_hop} if final_hop else set()))
+        hops.append(guard)
+        excluded.add(guard)
+
+        middle_count = length - 1 - (1 if final_hop is not None else 0)
+        if final_hop is None:
+            middle_count = length - 1
+        for _ in range(max(0, middle_count)):
+            middle = self._weighted_pick(consensus, excluded)
+            hops.append(middle)
+            excluded.add(middle)
+        if final_hop is not None:
+            if final_hop in hops:
+                raise SimulationError("final hop collides with an earlier hop")
+            hops.append(final_hop)
+        self.circuits_built += 1
+        return Circuit(hops=tuple(hops), purpose=purpose)
+
+    def _pick_guard(self, excluded: Set[Fingerprint]) -> Fingerprint:
+        candidates = [
+            fp for fp in self._guards.fingerprints if fp not in excluded
+        ]
+        if not candidates:
+            # All pinned guards excluded: fall back to any pinned guard
+            # (real Tor would fail the circuit; the distinction never
+            # matters at our abstraction level).
+            candidates = list(self._guards.fingerprints)
+        return self._rng.choice(candidates)
+
+    def _weighted_pick(
+        self, consensus: Consensus, excluded: Set[Fingerprint]
+    ) -> Fingerprint:
+        entries: List[ConsensusEntry] = [
+            entry
+            for entry in consensus.with_flag(RelayFlags.FAST)
+            if entry.fingerprint not in excluded
+        ]
+        if not entries:
+            entries = [
+                entry
+                for entry in consensus.entries
+                if entry.fingerprint not in excluded
+            ]
+        if not entries:
+            raise SimulationError("no relays available for a middle hop")
+        weights = [max(1, entry.bandwidth) for entry in entries]
+        return self._rng.choices(entries, weights=weights, k=1)[0].fingerprint

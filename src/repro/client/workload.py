@@ -1,0 +1,330 @@
+"""Client request workload for the popularity measurement (Section V).
+
+The paper's vantage saw, in 2-hour windows, just over a million descriptor
+requests for 29,123 unique descriptor IDs — a mixture of:
+
+* traffic to a handful of *very* popular services (the Goldnet and Skynet
+  botnets phoning home, adult sites, Silk Road, …),
+* a long Zipf-like tail over a few thousand ordinary services (only ~10% of
+  published descriptors were ever requested), and
+* a dominant share (~80%) of requests for descriptors that *never existed* —
+  stale search-engine databases probing dead onions, clients with wrong
+  clocks deriving off-by-k-days descriptor IDs.
+
+:class:`PopularityWorkload` reproduces that mixture by driving real client
+fetches through the network facade, so every request lands in (attacker)
+HSDir request logs exactly the way real traffic would.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from typing import TYPE_CHECKING
+
+from repro.client.client import TorClient
+from repro.crypto.onion import OnionAddress
+from repro.net.geoip import GeoIP
+from repro.sim.clock import DAY, Timestamp
+
+if TYPE_CHECKING:  # circular: tornet imports repro.hs, which imports here
+    from repro.tornet import TorNetwork
+
+
+def zipf_weights(count: int, exponent: float = 1.0, rank_offset: int = 0) -> List[float]:
+    """Weights ``1/(k + rank_offset)**exponent`` for ranks 1..count.
+
+    ``rank_offset`` shifts the curve so a tail can *continue* a head
+    distribution instead of restarting at rank 1 — the popularity tail
+    starts where Table II's named head (≈30 services) leaves off.
+
+    >>> [round(w, 3) for w in zipf_weights(3)]
+    [1.0, 0.5, 0.333]
+    """
+    return [
+        1.0 / ((rank + rank_offset) ** exponent) for rank in range(1, count + 1)
+    ]
+
+
+def diurnal_weight(
+    ts: Timestamp, peak_hour: float = 20.0, amplitude: float = 0.8
+) -> float:
+    """Relative human activity at timestamp ``ts`` (UTC sinusoid).
+
+    Botnets phone home on timers; people browse in the evening.  The
+    traffic-shape forensics in :mod:`repro.popularity.timeseries` separate
+    the two, so the workload can modulate *human* services with this curve
+    while botnet services stay flat.
+
+    >>> diurnal_weight(20 * 3600, peak_hour=20, amplitude=0.5)
+    1.5
+    """
+    if not 0 <= amplitude <= 1:
+        raise ValueError(f"amplitude out of range: {amplitude}")
+    hour = (int(ts) % DAY) / 3600.0
+    return 1.0 + amplitude * math.cos(2 * math.pi * (hour - peak_hour) / 24.0)
+
+
+@dataclass
+class WorkloadSpec:
+    """Configuration of one popularity window.
+
+    Attributes:
+        window_start / window_end: the harvest window (2 hours in the paper).
+        named_rates: exact expected request counts for specific services
+            (the Table II head: botnets, adult sites, Silk Road, …).
+        tail_onions: ordinary published services that receive the Zipf tail.
+        tail_total: total requests spread over ``tail_onions``.
+        tail_exponent: Zipf exponent of the tail.
+        tail_rank_offset: rank shift so the tail continues below the named
+            head instead of restarting at rank 1.
+        ghost_onions: syntactically valid onions that were *never published*
+            within the resolution window (long-dead services).  Ghost traffic
+            requests *fixed stale descriptor IDs* derived from these onions —
+            the paper's hypothesis for the 80% never-published fetches is
+            "specialized Hidden Service search engines ... trying to connect
+            to services from their databases which did not exist anymore",
+            i.e. the requesters replay old identifiers rather than deriving
+            fresh ones.
+        ghost_total: total requests spread over ghost descriptor IDs.
+        ghost_exponent: Zipf exponent of ghost traffic (flat-ish: spread over
+            many stale entries, none outranking the real head).
+        ghost_staleness_days: how many days before the window the stale IDs
+            were derived (puts them outside any sane resolution window).
+        client_count: distinct client identities issuing the traffic.
+        skew_fraction: fraction of clients whose clock is off by ±1 day
+            (their requests for live onions also miss, and resolve only
+            thanks to the resolver's multi-day window).
+    """
+
+    window_start: Timestamp
+    window_end: Timestamp
+    named_rates: Dict[OnionAddress, int] = field(default_factory=dict)
+    tail_onions: List[OnionAddress] = field(default_factory=list)
+    tail_total: int = 0
+    tail_exponent: float = 1.25
+    tail_rank_offset: int = 30
+    ghost_onions: List[OnionAddress] = field(default_factory=list)
+    ghost_total: int = 0
+    ghost_exponent: float = 0.45
+    ghost_staleness_days: int = 45
+    client_count: int = 500
+    skew_fraction: float = 0.01
+    # Human-driven services get the diurnal curve; everything else (botnet
+    # C&C beacons, search-engine crawlers) is flat.
+    diurnal_onions: Set[OnionAddress] = field(default_factory=set)
+    diurnal_peak_hour: float = 20.0
+    diurnal_amplitude: float = 0.8
+
+    @property
+    def planned_fetches(self) -> int:
+        """Total fetch operations the spec will issue."""
+        return sum(self.named_rates.values()) + self.tail_total + self.ghost_total
+
+
+@dataclass
+class WorkloadReport:
+    """What the workload actually issued."""
+
+    fetches_issued: int = 0
+    fetches_succeeded: int = 0
+    named_fetches: int = 0
+    tail_fetches: int = 0
+    ghost_fetches: int = 0
+    clients_used: int = 0
+
+
+class PopularityWorkload:
+    """Drives the Section V client traffic into the network."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        rng: random.Random,
+        geoip: Optional[GeoIP] = None,
+    ) -> None:
+        self.spec = spec
+        self._rng = rng
+        self._geoip = geoip if geoip is not None else GeoIP(seed=0)
+
+    def _make_clients(self) -> List[TorClient]:
+        clients: List[TorClient] = []
+        for index in range(self.spec.client_count):
+            country = self._geoip.random_country(self._rng)
+            ip = self._geoip.random_ip(self._rng, country)
+            skew = 0
+            if self._rng.random() < self.spec.skew_fraction:
+                skew = self._rng.choice((-1, 1)) * DAY
+            clients.append(
+                TorClient(
+                    ip=ip,
+                    rng=random.Random(self._rng.getrandbits(64)),
+                    clock_skew=skew,
+                    country=country,
+                )
+            )
+        return clients
+
+    def _spread(
+        self,
+        total: int,
+        targets: Sequence[OnionAddress],
+        exponent: float,
+        rank_offset: int = 0,
+    ) -> Dict[OnionAddress, int]:
+        """Allocate ``total`` requests over ``targets`` with Zipf weights.
+
+        Uses largest-remainder rounding so the counts sum exactly to
+        ``total`` (multinomial sampling at a million requests would be slow
+        for no fidelity gain: per-service counts concentrate tightly around
+        their expectations at these volumes).
+        """
+        if not targets or total <= 0:
+            return {}
+        weights = zipf_weights(len(targets), exponent, rank_offset)
+        weight_sum = sum(weights)
+        raw = [total * w / weight_sum for w in weights]
+        counts = [int(value) for value in raw]
+        remainders = sorted(
+            range(len(targets)), key=lambda i: raw[i] - counts[i], reverse=True
+        )
+        missing = total - sum(counts)
+        for i in remainders[:missing]:
+            counts[i] += 1
+        return {onion: count for onion, count in zip(targets, counts) if count > 0}
+
+    def _ghost_ids(self, onion: OnionAddress) -> List[bytes]:
+        """The fixed stale descriptor IDs replayed for a dead onion."""
+        from repro.crypto.descriptor_id import descriptor_ids_for_day
+
+        stale_time = self.spec.window_start - self.spec.ghost_staleness_days * DAY
+        return descriptor_ids_for_day(onion, stale_time)
+
+    def _full_plan(self) -> List[tuple[OnionAddress, int, str]]:
+        spec = self.spec
+        plan: List[tuple[OnionAddress, int, str]] = []
+        for onion, count in spec.named_rates.items():
+            plan.append((onion, count, "named"))
+        for onion, count in self._spread(
+            spec.tail_total, spec.tail_onions, spec.tail_exponent, spec.tail_rank_offset
+        ).items():
+            plan.append((onion, count, "tail"))
+        for onion, count in self._spread(
+            spec.ghost_total, spec.ghost_onions, spec.ghost_exponent
+        ).items():
+            plan.append((onion, count, "ghost"))
+        return plan
+
+    def plan_slices(
+        self,
+        slice_count: int,
+        slice_starts: Optional[Sequence[Timestamp]] = None,
+    ) -> "SlicedPlan":
+        """Split the workload into ``slice_count`` time slices.
+
+        The harvesting attack rotates its relays hourly, so traffic must be
+        issued interleaved with consensus changes — each request routed via
+        the consensus in force when it happens.  Per-target counts are
+        multinomially assigned to slices (unit-by-unit, preserving exact
+        totals).
+
+        ``slice_starts`` (one timestamp per slice) enables the diurnal
+        modulation of :attr:`WorkloadSpec.diurnal_onions`: their requests
+        land in slices with probability proportional to human activity at
+        that hour; without slice times, allocation is uniform.
+        """
+        spec = self.spec
+        plan = self._full_plan()
+        slice_weights: Optional[List[float]] = None
+        if slice_starts is not None and spec.diurnal_onions:
+            if len(slice_starts) != slice_count:
+                raise ValueError(
+                    f"{len(slice_starts)} slice starts for {slice_count} slices"
+                )
+            slice_weights = [
+                diurnal_weight(ts, spec.diurnal_peak_hour, spec.diurnal_amplitude)
+                for ts in slice_starts
+            ]
+        indices = list(range(slice_count))
+        sliced: Dict[tuple[OnionAddress, str], List[int]] = {}
+        for onion, count, kind in plan:
+            buckets = [0] * slice_count
+            diurnal = slice_weights is not None and onion in spec.diurnal_onions
+            for _ in range(count):
+                if diurnal:
+                    index = self._rng.choices(indices, weights=slice_weights, k=1)[0]
+                else:
+                    index = self._rng.randrange(slice_count)
+                buckets[index] += 1
+            sliced[(onion, kind)] = buckets
+        return SlicedPlan(
+            slices=slice_count, buckets=sliced, clients=self._make_clients()
+        )
+
+    def run_slice(
+        self,
+        network: "TorNetwork",
+        planned: "SlicedPlan",
+        slice_index: int,
+        window_start: Timestamp,
+        window_end: Timestamp,
+        report: Optional[WorkloadReport] = None,
+    ) -> WorkloadReport:
+        """Issue slice ``slice_index`` of a plan within the given window."""
+        if report is None:
+            report = WorkloadReport()
+        report.clients_used = len(planned.clients)
+        window = max(1, window_end - window_start)
+        for (onion, kind), buckets in planned.buckets.items():
+            count = buckets[slice_index]
+            if not count:
+                continue
+            ghost_ids = self._ghost_ids(onion) if kind == "ghost" else None
+            for _ in range(count):
+                client = self._rng.choice(planned.clients)
+                when = window_start + self._rng.randrange(window)
+                if ghost_ids is not None:
+                    stored = client.fetch_descriptor_id(
+                        network, self._rng.choice(ghost_ids), now=when
+                    )
+                else:
+                    stored = client.fetch_onion(network, onion, now=when)
+                report.fetches_issued += 1
+                if stored is not None:
+                    report.fetches_succeeded += 1
+                if kind == "named":
+                    report.named_fetches += 1
+                elif kind == "tail":
+                    report.tail_fetches += 1
+                else:
+                    report.ghost_fetches += 1
+        return report
+
+    def run(self, network: "TorNetwork") -> WorkloadReport:
+        """Issue the full workload in one window (single-consensus setups).
+
+        Fetch timestamps are drawn uniformly inside the window; the network
+        clock is left untouched (HSDir request accounting carries per-request
+        times when detailed logging is enabled).
+        """
+        planned = self.plan_slices(1)
+        return self.run_slice(
+            network, planned, 0, self.spec.window_start, self.spec.window_end
+        )
+
+
+@dataclass
+class SlicedPlan:
+    """A workload pre-split into time slices (see ``plan_slices``)."""
+
+    slices: int
+    buckets: Dict[tuple, List[int]]
+    clients: List[TorClient]
+
+    @property
+    def total_requests(self) -> int:
+        """Requests across all slices."""
+        return sum(sum(b) for b in self.buckets.values())

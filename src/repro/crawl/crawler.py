@@ -1,0 +1,107 @@
+"""The crawler.
+
+Connects to each scanned destination over the simulated Tor transport and
+tries to hold an HTTP(S) conversation, falling back to recording whatever
+banner the service volunteers (SSH version strings, IRC notices).  Binary
+data is excluded up front, as in the paper ("We excluded all binary data
+such as images, executables, etc.").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.crypto.onion import OnionAddress
+from repro.net.endpoint import ConnectOutcome
+from repro.net.transport import TorTransport
+from repro.crawl.page import FetchedPage, PageKind
+from repro.population.content import strip_html
+from repro.sim.clock import Timestamp
+
+
+@dataclass
+class CrawlResults:
+    """Everything the crawl produced, plus funnel counters."""
+
+    pages: List[FetchedPage] = field(default_factory=list)
+    tried: int = 0
+    open_at_crawl: int = 0
+    connected: int = 0
+
+    def by_kind(self, kind: PageKind) -> List[FetchedPage]:
+        """Pages of one kind."""
+        return [page for page in self.pages if page.kind == kind]
+
+    def page_for(self, onion: OnionAddress, port: int) -> FetchedPage:
+        """The page for a destination (crawl order preserved; unique)."""
+        for page in self.pages:
+            if page.destination == (onion, port):
+                return page
+        raise KeyError((onion, port))
+
+
+class Crawler:
+    """Fetches destinations and extracts text."""
+
+    def __init__(self, transport: TorTransport) -> None:
+        self._transport = transport
+
+    def crawl(
+        self,
+        destinations: Iterable[Tuple[OnionAddress, int]],
+        when: Timestamp,
+    ) -> CrawlResults:
+        """Fetch every (onion, port) destination at time ``when``."""
+        results = CrawlResults()
+        for onion, port in destinations:
+            results.tried += 1
+            page = self._fetch_one(onion, port, when)
+            if page.kind is not PageKind.DEAD:
+                results.open_at_crawl += 1
+            if page.connected:
+                results.connected += 1
+            results.pages.append(page)
+        return results
+
+    def _fetch_one(
+        self, onion: OnionAddress, port: int, when: Timestamp
+    ) -> FetchedPage:
+        scheme = "https" if port == 443 else "http"
+        result = self._transport.connect(onion, port, when)
+        if result.outcome in (
+            ConnectOutcome.UNREACHABLE,
+            ConnectOutcome.REFUSED,
+            ConnectOutcome.TIMEOUT,
+            ConnectOutcome.ABNORMAL_ERROR,
+        ):
+            return FetchedPage(
+                onion=onion,
+                port=port,
+                scheme=scheme,
+                kind=PageKind.DEAD,
+                error=result.error_message,
+            )
+        endpoint = result.endpoint
+        application = getattr(endpoint, "application", None)
+        if application is not None and hasattr(application, "handle_request"):
+            response = application.handle_request("/", when)
+            return FetchedPage(
+                onion=onion,
+                port=port,
+                scheme=scheme,
+                kind=PageKind.HTML,
+                status=response.status,
+                text=strip_html(response.body),
+            )
+        if result.banner:
+            return FetchedPage(
+                onion=onion,
+                port=port,
+                scheme=scheme,
+                kind=PageKind.BANNER,
+                text=result.banner,
+            )
+        return FetchedPage(
+            onion=onion, port=port, scheme=scheme, kind=PageKind.NO_RESPONSE
+        )

@@ -1,0 +1,97 @@
+"""The Section IV exclusion funnel.
+
+From 6,579 connectable destinations the paper excluded, in order:
+
+1. destinations with fewer than 20 words of text (2,348, of which 1,092
+   were SSH banners from port 22);
+2. port-443 destinations whose content duplicated the same onion's port-80
+   page (1,108);
+3. destinations returning an error message embedded in an HTML page (73);
+
+leaving 3,050 destinations for language and topic classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.crawl.crawler import CrawlResults
+from repro.crawl.page import FetchedPage, PageKind
+from repro.population.content import is_error_page
+
+MIN_WORDS = 20
+
+
+@dataclass
+class ClassifiableSet:
+    """Pages that survive the funnel, plus per-rule exclusion counts."""
+
+    pages: List[FetchedPage] = field(default_factory=list)
+    short_excluded: int = 0
+    ssh_banner_excluded: int = 0  # subset of short_excluded from port 22
+    duplicate_443_excluded: int = 0
+    error_page_excluded: int = 0
+
+    @property
+    def classified_count(self) -> int:
+        """Destinations that will be classified."""
+        return len(self.pages)
+
+    @property
+    def total_excluded(self) -> int:
+        """All exclusions (ssh banners are inside the short count)."""
+        return (
+            self.short_excluded
+            + self.duplicate_443_excluded
+            + self.error_page_excluded
+        )
+
+
+def apply_exclusions(results: CrawlResults) -> ClassifiableSet:
+    """Run the funnel over crawl results (order as in the paper)."""
+    out = ClassifiableSet()
+
+    connected = [page for page in results.pages if page.connected]
+
+    # Rule 2 preparation: index port-80 text per onion.
+    port80_text: Dict[str, str] = {
+        page.onion: page.text
+        for page in connected
+        if page.port == 80 and page.kind is PageKind.HTML
+    }
+
+    for page in connected:
+        if page.word_count < MIN_WORDS:
+            out.short_excluded += 1
+            if page.port == 22:
+                out.ssh_banner_excluded += 1
+            continue
+        if (
+            page.port == 443
+            and page.kind is PageKind.HTML
+            and port80_text.get(page.onion) == page.text
+        ):
+            out.duplicate_443_excluded += 1
+            continue
+        if page.kind is PageKind.HTML and (
+            page.status >= 400 or is_error_page(page.text)
+        ):
+            out.error_page_excluded += 1
+            continue
+        out.pages.append(page)
+    return out
+
+
+def destinations_summary(results: CrawlResults) -> List[Tuple[str, int]]:
+    """Table I: connectable destination counts per port.
+
+    Ports 80, 443, 22, 8080 get their own rows; everything else is 'Other'.
+    """
+    counts: Dict[str, int] = {"80": 0, "443": 0, "22": 0, "8080": 0, "Other": 0}
+    for page in results.pages:
+        if not page.connected:
+            continue
+        key = str(page.port) if str(page.port) in counts else "Other"
+        counts[key] += 1
+    return [(port, counts[port]) for port in ("80", "443", "22", "8080", "Other")]

@@ -1,0 +1,45 @@
+"""Fetched-page model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.onion import OnionAddress
+
+
+class PageKind(enum.Enum):
+    """What kind of response a destination produced."""
+
+    HTML = "html"  # an HTTP response with a body
+    BANNER = "banner"  # raw protocol banner (SSH, IRC, misc TCP services)
+    NO_RESPONSE = "no-response"  # TCP open but nothing intelligible
+    DEAD = "dead"  # port closed / host gone / unreachable
+
+
+@dataclass
+class FetchedPage:
+    """One crawled destination (onion address : port pair)."""
+
+    onion: OnionAddress
+    port: int
+    scheme: str  # "http" or "https"
+    kind: PageKind
+    status: int = 0
+    text: str = ""  # tag-stripped text content
+    error: str = ""
+
+    @property
+    def destination(self) -> tuple:
+        """(onion, port) identity of the destination."""
+        return (self.onion, self.port)
+
+    @property
+    def word_count(self) -> int:
+        """Words of text — the Section IV exclusion cutoff is 20."""
+        return len(self.text.split())
+
+    @property
+    def connected(self) -> bool:
+        """True when the crawler got any application-layer content."""
+        return self.kind in (PageKind.HTML, PageKind.BANNER)

@@ -1,0 +1,105 @@
+"""rend-spec v2 descriptor identifiers.
+
+A hidden service's descriptor is stored under a *descriptor ID* that rotates
+every 24 hours and exists in two replicas::
+
+    time-period   = (now + first-id-byte * 86400 / 256) / 86400
+    secret-id     = SHA1( time-period | descriptor-cookie | replica )
+    descriptor-id = SHA1( permanent-id | secret-id )
+
+The rotation offset (``first-id-byte * 86400 / 256``) staggers rotation
+moments across services so the whole network does not republish at midnight.
+Because the formula is deterministic and public, anyone holding an onion
+address can compute where its descriptors live — which is both how clients
+fetch descriptors, how the popularity resolver (Section V) maps harvested
+request logs back to onion addresses, and how the Section VII trackers chose
+fingerprints to position themselves as responsible HSDirs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Tuple
+
+from repro.crypto.onion import OnionAddress, permanent_id_from_onion
+from repro.errors import CryptoError
+from repro.sim.clock import DAY, Timestamp
+
+DescriptorId = bytes  # 20-byte SHA-1 digest
+
+REPLICAS = 2  # rend-spec v2 publishes two replicas per time period
+
+
+def time_period_for(now: Timestamp, permanent_id: bytes) -> int:
+    """The service-specific time-period number containing ``now``."""
+    if not permanent_id:
+        raise CryptoError("permanent id must be non-empty")
+    offset = (permanent_id[0] * DAY) // 256
+    return (int(now) + offset) // DAY
+
+
+def time_period_boundaries(
+    now: Timestamp, permanent_id: bytes
+) -> Tuple[Timestamp, Timestamp]:
+    """Start (inclusive) and end (exclusive) timestamps of the current period."""
+    offset = (permanent_id[0] * DAY) // 256
+    period = time_period_for(now, permanent_id)
+    start = period * DAY - offset
+    return start, start + DAY
+
+
+def _secret_id_part(period: int, replica: int, cookie: bytes = b"") -> bytes:
+    if not 0 <= replica < 256:
+        raise CryptoError(f"replica must fit one byte, got {replica}")
+    return hashlib.sha1(
+        struct.pack(">I", period & 0xFFFFFFFF) + cookie + bytes([replica])
+    ).digest()
+
+
+def descriptor_id(
+    onion: OnionAddress,
+    now: Timestamp,
+    replica: int,
+    cookie: bytes = b"",
+) -> DescriptorId:
+    """Descriptor ID of ``onion`` for the period containing ``now``."""
+    permanent_id = permanent_id_from_onion(onion)
+    period = time_period_for(now, permanent_id)
+    return hashlib.sha1(permanent_id + _secret_id_part(period, replica, cookie)).digest()
+
+
+def descriptor_ids_for_day(
+    onion: OnionAddress, now: Timestamp, cookie: bytes = b""
+) -> List[DescriptorId]:
+    """Both replica descriptor IDs for the period containing ``now``."""
+    return [descriptor_id(onion, now, replica, cookie) for replica in range(REPLICAS)]
+
+
+def descriptor_ids_for_window(
+    onion: OnionAddress,
+    start: Timestamp,
+    end: Timestamp,
+    cookie: bytes = b"",
+) -> List[DescriptorId]:
+    """All distinct descriptor IDs ``onion`` uses anywhere in ``[start, end]``.
+
+    This is the resolution primitive from Section V: the authors recomputed
+    descriptor IDs "for each day between 28 January 2013 and 8 February in
+    order to deal with possible wrong time settings of Tor clients", then
+    matched harvested request logs against the derived set.
+    """
+    if end < start:
+        raise CryptoError(f"window end {end} before start {start}")
+    permanent_id = permanent_id_from_onion(onion)
+    first = time_period_for(start, permanent_id)
+    last = time_period_for(end, permanent_id)
+    ids: List[DescriptorId] = []
+    for period in range(first, last + 1):
+        for replica in range(REPLICAS):
+            ids.append(
+                hashlib.sha1(
+                    permanent_id + _secret_id_part(period, replica, cookie)
+                ).digest()
+            )
+    return ids

@@ -1,0 +1,62 @@
+"""v2 onion addresses.
+
+A v2 onion address is the base32 encoding of the first 10 bytes of the SHA-1
+digest of the service's public identity key (rend-spec v2 §1.5), lowercased,
+with ``.onion`` appended — 16 base32 characters such as
+``silkroadvb5piz3r.onion``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import re
+
+from repro.errors import CryptoError
+
+OnionAddress = str  # e.g. "silkroadvb5piz3r.onion"
+
+PERMANENT_ID_LEN = 10  # bytes of SHA-1 digest used for the address
+ONION_LABEL_LEN = 16  # base32 chars encoding 10 bytes
+
+_ONION_RE = re.compile(r"^[a-z2-7]{16}\.onion$")
+
+
+def onion_address_from_key(public_der: bytes) -> OnionAddress:
+    """Derive the ``<z>.onion`` address from public key material.
+
+    >>> onion_address_from_key(b"example-key")
+    '7i5x6zcca6exi4fu.onion'
+    """
+    if not public_der:
+        raise CryptoError("public key material must be non-empty")
+    digest = hashlib.sha1(public_der).digest()
+    return onion_address_from_permanent_id(digest[:PERMANENT_ID_LEN])
+
+
+def onion_address_from_permanent_id(permanent_id: bytes) -> OnionAddress:
+    """Encode a 10-byte permanent identifier as an onion address."""
+    if len(permanent_id) != PERMANENT_ID_LEN:
+        raise CryptoError(
+            f"permanent id must be {PERMANENT_ID_LEN} bytes, got {len(permanent_id)}"
+        )
+    label = base64.b32encode(permanent_id).decode("ascii").lower()
+    return f"{label}.onion"
+
+
+def permanent_id_from_onion(onion: OnionAddress) -> bytes:
+    """Decode an onion address back to its 10-byte permanent identifier.
+
+    This is the inverse the harvesting attack relies on: descriptor IDs are
+    derived from the permanent id, so holding an onion address suffices to
+    predict where its descriptors will live on the HSDir ring.
+    """
+    if not is_valid_onion(onion):
+        raise CryptoError(f"not a valid v2 onion address: {onion!r}")
+    label = onion[: -len(".onion")]
+    return base64.b32decode(label.upper().encode("ascii"))
+
+
+def is_valid_onion(onion: str) -> bool:
+    """True when ``onion`` is a syntactically valid v2 address."""
+    return isinstance(onion, str) and bool(_ONION_RE.match(onion))

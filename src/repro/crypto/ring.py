@@ -1,0 +1,112 @@
+"""The HSDir fingerprint ring.
+
+Relays carrying the ``HSDir`` flag form a ring ordered by their 160-bit
+fingerprints.  A descriptor with ID *d* is stored on the first
+``HSDIRS_PER_REPLICA`` (3) relays whose fingerprints *follow* *d* on the
+ring, wrapping around at 2**160.  With two replicas a service therefore has
+six responsible directories per time period.
+
+The ring-distance between a responsible relay's fingerprint and the
+descriptor ID is the paper's Section VII positioning statistic: an honest
+relay's distance is on the order of ``2**160 / N`` while a tracker that
+ground a key to land just past the descriptor ID shows a distance thousands
+of times smaller.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence
+
+from repro.crypto.keys import Fingerprint, fingerprint_int
+from repro.errors import CryptoError
+
+RING_SIZE = 1 << 160  # SHA-1 output space
+
+HSDIRS_PER_REPLICA = 3
+
+
+def ring_distance(from_point: int, to_point: int) -> int:
+    """Clockwise distance from ``from_point`` to ``to_point`` on the ring."""
+    return (to_point - from_point) % RING_SIZE
+
+
+def responsible_positions(
+    descriptor_point: int, sorted_points: Sequence[int], count: int = HSDIRS_PER_REPLICA
+) -> List[int]:
+    """The ``count`` ring positions that follow ``descriptor_point``.
+
+    ``sorted_points`` must be sorted ascending and duplicate-free.  Fewer than
+    ``count`` positions are returned only when the ring itself is smaller.
+    """
+    if not sorted_points:
+        return []
+    take = min(count, len(sorted_points))
+    start = bisect.bisect_right(sorted_points, descriptor_point)
+    return [sorted_points[(start + i) % len(sorted_points)] for i in range(take)]
+
+
+class FingerprintRing:
+    """An immutable snapshot of the HSDir ring for one consensus.
+
+    Maps ring positions back to fingerprints and answers the two queries the
+    study needs: *which relays are responsible for this descriptor ID* and
+    *how tightly is this relay positioned against this descriptor ID*.
+    """
+
+    def __init__(self, fingerprints: Sequence[Fingerprint]) -> None:
+        by_position: Dict[int, Fingerprint] = {}
+        for fp in fingerprints:
+            position = fingerprint_int(fp)
+            if position in by_position and by_position[position] != fp:
+                raise CryptoError("distinct fingerprints with equal ring position")
+            by_position[position] = fp
+        self._positions: List[int] = sorted(by_position)
+        self._by_position = by_position
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fingerprint_int(fp) in self._by_position
+
+    @property
+    def fingerprints(self) -> List[Fingerprint]:
+        """All fingerprints in ring order."""
+        return [self._by_position[p] for p in self._positions]
+
+    def responsible_for(
+        self, descriptor_id: bytes, count: int = HSDIRS_PER_REPLICA
+    ) -> List[Fingerprint]:
+        """The ``count`` relays responsible for ``descriptor_id`` (one replica)."""
+        point = int.from_bytes(descriptor_id, "big")
+        positions = responsible_positions(point, self._positions, count)
+        return [self._by_position[p] for p in positions]
+
+    def distance_to(self, descriptor_id: bytes, fp: Fingerprint) -> int:
+        """Clockwise ring distance from ``descriptor_id`` to ``fp``."""
+        return ring_distance(
+            int.from_bytes(descriptor_id, "big"), fingerprint_int(fp)
+        )
+
+    def average_gap(self) -> int:
+        """Mean clockwise gap between consecutive ring members.
+
+        For *n* members the gaps around the ring sum to exactly ``RING_SIZE``
+        (each arc is counted once), so the average gap is ``RING_SIZE // n``.
+        This is the ``avg_dist`` numerator of the paper's positioning ratio.
+        """
+        if not self._positions:
+            raise CryptoError("empty ring has no average gap")
+        return RING_SIZE // len(self._positions)
+
+    def positioning_ratio(self, descriptor_id: bytes, fp: Fingerprint) -> float:
+        """``avg_dist / distance`` — the Section VII suspicion statistic.
+
+        Honest relays score around 1; the paper flags trackers whose ratio
+        exceeds ~100 and observed one episode crossing 10,000.
+        """
+        distance = self.distance_to(descriptor_id, fp)
+        if distance == 0:
+            return float("inf")
+        return self.average_gap() / distance

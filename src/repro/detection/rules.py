@@ -1,0 +1,69 @@
+"""The five suspicion rules of Section VII.
+
+1. **Frequency** — a relay chosen as responsible HSDir more often than
+   chance allows.  With ``p = 6 / N_hsdir`` per period, counts are binomial;
+   anything above ``μ + 3σ`` is suspicious.
+2. **Fresh fingerprint** — the relay's fingerprint appeared in the
+   consensus only just before it became responsible (it either changed its
+   key or joined 25 hours earlier, the minimum to earn HSDir).  Suspicious
+   when observed several times for the same server.
+3. **Positioning ratio** — ``avg_dist / distance`` between the descriptor
+   ID and the responsible fingerprint; honest relays sit near 1, trackers
+   above 100, the boldest 2013 episode above 10,000.
+4. **Fingerprint churn** — how many distinct identity keys one server
+   (IP:port) used; honest operators rotate keys rarely.
+5. **Consecutive periods** — staying responsible for the same service
+   across consecutive 24-hour periods, which requires re-positioning after
+   every descriptor rotation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AttackError
+
+
+def binomial_threshold(periods: int, probability: float, sigmas: float = 3.0) -> float:
+    """``μ + kσ`` of a Binomial(periods, probability).
+
+    >>> round(binomial_threshold(365, 6 / 1200), 2)
+    5.86
+    """
+    if periods < 0:
+        raise AttackError(f"negative period count: {periods}")
+    if not 0 <= probability <= 1:
+        raise AttackError(f"probability out of range: {probability}")
+    mean = periods * probability
+    std = math.sqrt(periods * probability * (1 - probability))
+    return mean + sigmas * std
+
+
+@dataclass(frozen=True)
+class DetectionThresholds:
+    """Knobs for the five rules (paper defaults)."""
+
+    frequency_sigmas: float = 3.0
+    # "shortly before": a tracker must rotate ≥ 25 h ahead of its target
+    # period (the HSDir uptime requirement), so at daily consensus cadence
+    # the new fingerprint first appears one to two periods before it becomes
+    # responsible.
+    fresh_fingerprint_periods: int = 2
+    fresh_fingerprint_min_events: int = 2  # "several times"
+    ratio_suspicious: float = 100.0
+    ratio_extreme: float = 10_000.0
+    churn_max_fingerprints: int = 3  # more switches than this is unusual
+    consecutive_min_periods: int = 2
+
+    def __post_init__(self) -> None:
+        if self.frequency_sigmas <= 0:
+            raise AttackError("frequency_sigmas must be positive")
+        if self.ratio_suspicious <= 1 or self.ratio_extreme < self.ratio_suspicious:
+            raise AttackError("ratio thresholds must satisfy 1 < suspicious <= extreme")
+        if self.fresh_fingerprint_min_events < 1:
+            raise AttackError("fresh_fingerprint_min_events must be >= 1")
+        if self.churn_max_fingerprints < 1:
+            raise AttackError("churn_max_fingerprints must be >= 1")
+        if self.consecutive_min_periods < 2:
+            raise AttackError("consecutive_min_periods must be >= 2")

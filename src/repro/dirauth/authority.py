@@ -1,0 +1,101 @@
+"""The directory-authority set.
+
+Modelled as one logical entity (real Tor has nine authorities that vote; the
+voting outcome, not the voting, is what the study depends on).  The
+authority set:
+
+* tracks every advertised relay — *including* relays that the per-IP rule
+  keeps out of the consensus.  Their uptime still accrues, which is the flaw
+  ("statistics on them is collected, including the uptime") behind the
+  shadow-relay harvest;
+* tests reachability each round;
+* assigns flags from the :class:`~repro.dirauth.voting.FlagPolicy`;
+* applies the two-per-IP admission rule and publishes a
+  :class:`~repro.dirauth.consensus.Consensus`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.keys import Fingerprint
+from repro.dirauth.consensus import (
+    Consensus,
+    ConsensusEntry,
+    apply_per_ip_limit,
+)
+from repro.dirauth.voting import FlagPolicy
+from repro.errors import ConsensusError
+from repro.relay.flags import RelayFlags
+from repro.relay.relay import Relay
+from repro.sim.clock import Timestamp
+
+
+class DirectoryAuthoritySet:
+    """Registers relays and periodically publishes consensuses."""
+
+    def __init__(self, policy: Optional[FlagPolicy] = None) -> None:
+        self.policy = policy if policy is not None else FlagPolicy()
+        self._relays: Dict[int, Relay] = {}
+        self.consensuses_built = 0
+
+    def register(self, relay: Relay) -> None:
+        """Start monitoring ``relay``."""
+        if relay.relay_id in self._relays:
+            raise ConsensusError(f"relay already registered: {relay}")
+        self._relays[relay.relay_id] = relay
+
+    def register_all(self, relays: Iterable[Relay]) -> None:
+        """Register many relays."""
+        for relay in relays:
+            self.register(relay)
+
+    def deregister(self, relay: Relay) -> None:
+        """Stop monitoring ``relay`` (operator shut it down permanently)."""
+        self._relays.pop(relay.relay_id, None)
+
+    @property
+    def monitored_relays(self) -> List[Relay]:
+        """Every relay the authorities currently track."""
+        return list(self._relays.values())
+
+    @property
+    def monitored_count(self) -> int:
+        """How many relays are tracked (shadow relays included)."""
+        return len(self._relays)
+
+    def build_consensus(self, now: Timestamp) -> Consensus:
+        """Publish the consensus valid from ``now``.
+
+        Reachable relays are flagged per policy, then the per-IP limit keeps
+        the two highest-bandwidth relays per address.  Entries are ordered by
+        fingerprint, as in real consensus documents.
+        """
+        candidates: List[ConsensusEntry] = []
+        for relay in self._relays.values():
+            if not relay.reachable:
+                continue
+            flags = self.policy.flags_for(relay, now)
+            if not flags & RelayFlags.RUNNING:
+                continue
+            candidates.append(
+                ConsensusEntry(
+                    fingerprint=relay.fingerprint,
+                    nickname=relay.nickname,
+                    ip=relay.ip,
+                    or_port=relay.or_port,
+                    bandwidth=relay.bandwidth,
+                    flags=flags,
+                )
+            )
+        admitted = apply_per_ip_limit(candidates)
+        admitted.sort(key=lambda e: e.fingerprint)
+        self.consensuses_built += 1
+        return Consensus(valid_after=int(now), entries=tuple(admitted))
+
+    def relay_by_fingerprint(self, fingerprint: Fingerprint) -> Optional[Relay]:
+        """Find the monitored relay currently holding ``fingerprint``."""
+        for relay in self._relays.values():
+            if relay.fingerprint == fingerprint:
+                return relay
+        return None

@@ -1,0 +1,127 @@
+"""Consensus documents.
+
+A consensus is the authorities' hourly snapshot of admitted relays with
+their flags.  Two properties drive the study:
+
+* **Two relays per IP** — when more than two relays advertise from one IP,
+  only the two with the highest measured bandwidth are listed.  This is the
+  anti-Sybil measure the shadow-relay attack circumvents.
+* The set of entries carrying ``HSDir`` defines the fingerprint ring on
+  which hidden-service descriptors are placed for that period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.crypto.keys import Fingerprint
+from repro.crypto.ring import FingerprintRing
+from repro.errors import ConsensusError
+from repro.net.address import IPv4
+from repro.relay.flags import RelayFlags
+from repro.sim.clock import Timestamp
+
+MAX_RELAYS_PER_IP = 2
+
+
+class ConsensusEntry(NamedTuple):
+    """One router-status line.
+
+    A NamedTuple rather than a dataclass: the tracking-detection experiment
+    retains years of history (thousands of snapshots × hundreds of relays),
+    so entries are kept as small as practical.
+    """
+
+    fingerprint: Fingerprint
+    nickname: str
+    ip: IPv4
+    or_port: int
+    bandwidth: int
+    flags: RelayFlags
+
+    @property
+    def address(self) -> Tuple[IPv4, int]:
+        """The (IP, ORPort) pair — stable across fingerprint changes."""
+        return (self.ip, self.or_port)
+
+    def has(self, flag: RelayFlags) -> bool:
+        """Whether the entry carries ``flag``."""
+        return bool(self.flags & flag)
+
+
+@dataclass
+class Consensus:
+    """An immutable snapshot of the network at ``valid_after``."""
+
+    valid_after: Timestamp
+    entries: Tuple[ConsensusEntry, ...]
+    _by_fingerprint: Dict[Fingerprint, ConsensusEntry] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    _hsdir_ring: Optional[FingerprintRing] = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        by_fp: Dict[Fingerprint, ConsensusEntry] = {}
+        for entry in self.entries:
+            if entry.fingerprint in by_fp:
+                raise ConsensusError(
+                    f"duplicate fingerprint in consensus: {entry.fingerprint.hex()}"
+                )
+            by_fp[entry.fingerprint] = entry
+        self._by_fingerprint = by_fp
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ConsensusEntry]:
+        return iter(self.entries)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint in self._by_fingerprint
+
+    def entry_for(self, fingerprint: Fingerprint) -> Optional[ConsensusEntry]:
+        """The entry with ``fingerprint``, or None."""
+        return self._by_fingerprint.get(fingerprint)
+
+    def with_flag(self, flag: RelayFlags) -> List[ConsensusEntry]:
+        """All entries carrying ``flag``."""
+        return [entry for entry in self.entries if entry.flags & flag]
+
+    @property
+    def hsdir_ring(self) -> FingerprintRing:
+        """The HSDir fingerprint ring implied by this consensus (cached)."""
+        if self._hsdir_ring is None:
+            self._hsdir_ring = FingerprintRing(
+                [e.fingerprint for e in self.entries if e.flags & RelayFlags.HSDIR]
+            )
+        return self._hsdir_ring
+
+    @property
+    def hsdir_count(self) -> int:
+        """Number of relays with the HSDir flag."""
+        return len(self.hsdir_ring)
+
+
+def apply_per_ip_limit(
+    candidates: List[ConsensusEntry], limit: int = MAX_RELAYS_PER_IP
+) -> List[ConsensusEntry]:
+    """Enforce the per-IP admission rule.
+
+    Groups candidates by IP and keeps the ``limit`` highest-bandwidth relays
+    per address (ties broken by fingerprint for determinism), preserving the
+    original relative order of the survivors.
+    """
+    if limit < 1:
+        raise ConsensusError(f"per-IP limit must be positive: {limit}")
+    by_ip: Dict[IPv4, List[ConsensusEntry]] = {}
+    for entry in candidates:
+        by_ip.setdefault(entry.ip, []).append(entry)
+    admitted: set[Fingerprint] = set()
+    for ip_entries in by_ip.values():
+        ranked = sorted(
+            ip_entries, key=lambda e: (-e.bandwidth, e.fingerprint)
+        )
+        for entry in ranked[:limit]:
+            admitted.add(entry.fingerprint)
+    return [entry for entry in candidates if entry.fingerprint in admitted]

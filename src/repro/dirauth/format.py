@@ -1,0 +1,140 @@
+"""Consensus document text format (dir-spec flavoured).
+
+Real Tor consensuses are line-oriented documents ("r" router lines, "s"
+flag lines, "w" bandwidth lines).  The Section VII analysis runs off
+*archived* consensus history, so a faithful reproduction needs the archive
+to survive a round trip through a textual interchange format — both for
+persisting simulated histories and for eyeballing them.
+
+The format here mirrors the real one's shape::
+
+    network-status-version 3 repro
+    valid-after 2013-02-04 00:00:00
+    r <nickname> <fingerprint-hex> <ip> <orport> <bandwidth>
+    s <Flag> <Flag> ...
+    directory-footer
+
+One ``r``+``s`` pair per relay, sorted by fingerprint as in real documents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.dirauth.archive import ConsensusArchive
+from repro.dirauth.consensus import Consensus, ConsensusEntry
+from repro.errors import ConsensusError
+from repro.net.address import ip_to_str, str_to_ip
+from repro.relay.flags import RelayFlags
+from repro.sim.clock import format_date, parse_date
+
+_HEADER = "network-status-version 3 repro"
+_FOOTER = "directory-footer"
+
+_FLAG_BY_NAME = {
+    "Running": RelayFlags.RUNNING,
+    "Valid": RelayFlags.VALID,
+    "Fast": RelayFlags.FAST,
+    "Stable": RelayFlags.STABLE,
+    "Guard": RelayFlags.GUARD,
+    "HSDir": RelayFlags.HSDIR,
+    "Exit": RelayFlags.EXIT,
+    "Authority": RelayFlags.AUTHORITY,
+}
+
+
+def format_consensus(consensus: Consensus) -> str:
+    """Render one consensus as text."""
+    lines: List[str] = [
+        _HEADER,
+        f"valid-after {format_date(consensus.valid_after, with_time=True)}",
+    ]
+    for entry in consensus.entries:
+        lines.append(
+            "r {nick} {fp} {ip} {port} {bw}".format(
+                nick=entry.nickname or "Unnamed",
+                fp=entry.fingerprint.hex().upper(),
+                ip=ip_to_str(entry.ip),
+                port=entry.or_port,
+                bw=entry.bandwidth,
+            )
+        )
+        lines.append("s " + " ".join(entry.flags.names()))
+    lines.append(_FOOTER)
+    return "\n".join(lines) + "\n"
+
+
+def parse_consensus(text: str) -> Consensus:
+    """Parse :func:`format_consensus` output back into a document."""
+    lines = [line.rstrip("\n") for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != _HEADER:
+        raise ConsensusError("missing or unknown network-status header")
+    if lines[-1] != _FOOTER:
+        raise ConsensusError("missing directory-footer")
+    if not lines[1].startswith("valid-after "):
+        raise ConsensusError("missing valid-after line")
+    valid_after = parse_date(lines[1][len("valid-after "):])
+
+    entries: List[ConsensusEntry] = []
+    index = 2
+    while index < len(lines) - 1:
+        router_line = lines[index]
+        if not router_line.startswith("r "):
+            raise ConsensusError(f"expected router line, got: {router_line!r}")
+        parts = router_line.split()
+        if len(parts) != 6:
+            raise ConsensusError(f"malformed router line: {router_line!r}")
+        _, nickname, fp_hex, ip_text, port_text, bw_text = parts
+        if index + 1 >= len(lines) - 1 + 1 or not lines[index + 1].startswith("s"):
+            raise ConsensusError(f"router {nickname} has no flag line")
+        flags = RelayFlags.NONE
+        for name in lines[index + 1][1:].split():
+            try:
+                flags |= _FLAG_BY_NAME[name]
+            except KeyError as exc:
+                raise ConsensusError(f"unknown flag {name!r}") from exc
+        try:
+            fingerprint = bytes.fromhex(fp_hex)
+        except ValueError as exc:
+            raise ConsensusError(f"bad fingerprint {fp_hex!r}") from exc
+        if len(fingerprint) != 20:
+            raise ConsensusError(f"fingerprint wrong length: {fp_hex!r}")
+        entries.append(
+            ConsensusEntry(
+                fingerprint=fingerprint,
+                nickname=nickname,
+                ip=str_to_ip(ip_text),
+                or_port=int(port_text),
+                bandwidth=int(bw_text),
+                flags=flags,
+            )
+        )
+        index += 2
+    return Consensus(valid_after=valid_after, entries=tuple(entries))
+
+
+def format_archive(archive: ConsensusArchive) -> str:
+    """Render a whole archive (documents separated by blank lines)."""
+    return "\n".join(format_consensus(consensus) for consensus in archive)
+
+
+def parse_archive(text: str) -> ConsensusArchive:
+    """Parse :func:`format_archive` output."""
+    archive = ConsensusArchive()
+    chunk: List[str] = []
+    for line in text.splitlines():
+        chunk.append(line)
+        if line.strip() == _FOOTER:
+            archive.append(parse_consensus("\n".join(chunk)))
+            chunk = []
+    if any(line.strip() for line in chunk):
+        raise ConsensusError("trailing garbage after last directory-footer")
+    return archive
+
+
+def archive_from_consensuses(consensuses: Iterable[Consensus]) -> ConsensusArchive:
+    """Build an archive from loose documents (must be time-ordered)."""
+    archive = ConsensusArchive()
+    for consensus in consensuses:
+        archive.append(consensus)
+    return archive

@@ -1,0 +1,56 @@
+"""Flag-assignment policy.
+
+Real Tor authorities vote and take a majority; the study only depends on the
+*effective* thresholds, so the policy is expressed directly.  The decisive
+rule for this paper is HSDir: "a Tor relay needs to be operational for at
+least 25 hours to obtain this flag" — and crucially the uptime is accrued by
+*all monitored relays*, consensus-listed or not, which is the flaw the
+harvesting attack exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relay.flags import RelayFlags
+from repro.relay.relay import Relay
+from repro.sim.clock import DAY, HOUR, Timestamp
+
+
+@dataclass(frozen=True)
+class FlagPolicy:
+    """Thresholds for assigning router flags.
+
+    Attributes:
+        hsdir_min_uptime: continuous uptime needed for HSDir (25 h in the
+            2013 network the paper measured).
+        guard_min_uptime: uptime needed for Guard.
+        guard_min_bandwidth: measured bandwidth needed for Guard (kB/s).
+        stable_min_uptime: uptime needed for Stable.
+        fast_min_bandwidth: bandwidth needed for Fast (kB/s).
+    """
+
+    hsdir_min_uptime: int = 25 * HOUR
+    guard_min_uptime: int = 8 * DAY
+    guard_min_bandwidth: int = 250
+    stable_min_uptime: int = 5 * DAY
+    fast_min_bandwidth: int = 100
+
+    def flags_for(self, relay: Relay, now: Timestamp) -> RelayFlags:
+        """Flags a relay earns at ``now`` from its uptime and bandwidth."""
+        if not relay.reachable:
+            return RelayFlags.NONE
+        flags = RelayFlags.RUNNING | RelayFlags.VALID
+        uptime = relay.uptime(now)
+        if relay.bandwidth >= self.fast_min_bandwidth:
+            flags |= RelayFlags.FAST
+        if uptime >= self.stable_min_uptime:
+            flags |= RelayFlags.STABLE
+        if uptime >= self.hsdir_min_uptime:
+            flags |= RelayFlags.HSDIR
+        if (
+            uptime >= self.guard_min_uptime
+            and relay.bandwidth >= self.guard_min_bandwidth
+        ):
+            flags |= RelayFlags.GUARD
+        return flags

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state."""
+
+
+class CryptoError(ReproError):
+    """Invalid key material, onion address, or descriptor-identifier input."""
+
+
+class NetworkError(ReproError):
+    """Simulated network failure that is not an expected connection outcome."""
+
+
+class AddressExhaustedError(NetworkError):
+    """The simulated IPv4 address pool has no more addresses to allocate."""
+
+
+class ConsensusError(ReproError):
+    """Consensus construction or archive lookup failed."""
+
+
+class DescriptorError(ReproError):
+    """A hidden-service descriptor is malformed or cannot be (un)published."""
+
+
+class AttackError(ReproError):
+    """A measurement attack (trawl / tracking) was configured incorrectly."""
+
+
+class ClassificationError(ReproError):
+    """A classifier was used before training or trained on invalid input."""
+
+
+class PopulationError(ReproError):
+    """The synthetic hidden-service population spec is infeasible."""

@@ -1,0 +1,179 @@
+"""The shared measurement pipeline: population → scan → crawl → classify.
+
+Fig 1, Table I and Fig 2 are successive stages of one campaign (the paper
+scanned in February and crawled the scan's output two months later), so the
+pipeline computes each stage lazily and caches it; the three experiment
+drivers pull the stage they report on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.classify import (
+    LanguageDetector,
+    TopicClassifier,
+    build_language_detector,
+    build_topic_classifier,
+    is_torhost_default,
+)
+from repro.crawl import ClassifiableSet, Crawler, CrawlResults, apply_exclusions
+from repro.crawl.page import FetchedPage
+from repro.net.transport import TorTransport
+from repro.population import GeneratedPopulation, generate_population
+from repro.population.spec import PORT_SKYNET
+from repro.scan import (
+    CertificateAnalysis,
+    PortScanner,
+    ScanResults,
+    ScanSchedule,
+    analyze_certificates,
+    collect_certificates,
+)
+from repro.sim.clock import DAY
+from repro.sim.rng import derive_rng
+
+
+class ClassificationOutcome:
+    """Language and topic assignments over the classifiable pages."""
+
+    def __init__(self) -> None:
+        self.language_counts: Dict[str, int] = {}
+        self.topic_counts: Dict[str, int] = {}
+        self.torhost_default_count = 0
+        self.english_pages = 0
+        self.classified_pages = 0
+        self.page_languages: Dict[Tuple[str, int], str] = {}
+        self.page_topics: Dict[Tuple[str, int], str] = {}
+
+    @property
+    def english_fraction(self) -> float:
+        """Share of classified pages detected as English."""
+        if not self.classified_pages:
+            return 0.0
+        return self.english_pages / self.classified_pages
+
+    def topic_shares_percent(self) -> Dict[str, float]:
+        """Fig 2: topic percentages over topic-classified pages."""
+        total = sum(self.topic_counts.values())
+        if not total:
+            return {}
+        return {
+            topic: 100.0 * count / total
+            for topic, count in self.topic_counts.items()
+        }
+
+
+class MeasurementPipeline:
+    """Lazily evaluated scan → crawl → classify campaign."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        scale: float = 1.0,
+        population: Optional[GeneratedPopulation] = None,
+        scan_days: int = 8,
+    ) -> None:
+        self.seed = seed
+        self.population = (
+            population
+            if population is not None
+            else generate_population(seed=seed, scale=scale)
+        )
+        self.scan_days = scan_days
+        self.transport = TorTransport(
+            self.population.registry,
+            derive_rng(seed, "pipeline", "transport"),
+            descriptor_available=self.population.descriptor_available,
+        )
+        self._scan: Optional[ScanResults] = None
+        self._certs: Optional[CertificateAnalysis] = None
+        self._crawl: Optional[CrawlResults] = None
+        self._classifiable: Optional[ClassifiableSet] = None
+        self._classification: Optional[ClassificationOutcome] = None
+        self._language_detector: Optional[LanguageDetector] = None
+        self._topic_classifier: Optional[TopicClassifier] = None
+
+    # -- stages ---------------------------------------------------------- #
+
+    def scan(self) -> ScanResults:
+        """Stage 1: the 8-day port scan (Section III)."""
+        if self._scan is None:
+            schedule = ScanSchedule(
+                start=self.population.scan_start, days=self.scan_days
+            )
+            self._scan = PortScanner(self.transport).run(
+                self.population.all_onions, schedule
+            )
+        return self._scan
+
+    def certificates(self) -> CertificateAnalysis:
+        """Stage 1b: HTTPS certificate analysis (Section III)."""
+        if self._certs is None:
+            scan = self.scan()
+            https = scan.onions_with_port(443)
+            when = self.population.scan_start + self.scan_days * DAY
+            certs = collect_certificates(self.transport, https, when)
+            self._certs = analyze_certificates(certs)
+        return self._certs
+
+    def crawl(self) -> CrawlResults:
+        """Stage 2: the HTTP(S) crawl two months later (Section IV)."""
+        if self._crawl is None:
+            destinations = self.scan().destinations_excluding(PORT_SKYNET)
+            crawler = Crawler(self.transport)
+            self._crawl = crawler.crawl(destinations, self.population.crawl_date)
+        return self._crawl
+
+    def classifiable(self) -> ClassifiableSet:
+        """Stage 3: the exclusion funnel."""
+        if self._classifiable is None:
+            self._classifiable = apply_exclusions(self.crawl())
+        return self._classifiable
+
+    def classify(self) -> ClassificationOutcome:
+        """Stage 4: language detection + topic classification."""
+        if self._classification is None:
+            outcome = ClassificationOutcome()
+            detector = self.language_detector
+            classifier = self.topic_classifier
+            for page in self.classifiable().pages:
+                outcome.classified_pages += 1
+                language = detector.detect(page.text)
+                outcome.page_languages[page.destination] = language
+                outcome.language_counts[language] = (
+                    outcome.language_counts.get(language, 0) + 1
+                )
+                if language != "en":
+                    continue
+                outcome.english_pages += 1
+                if is_torhost_default(page.text):
+                    outcome.torhost_default_count += 1
+                    continue
+                topic = classifier.classify(page.text)
+                outcome.page_topics[page.destination] = topic
+                outcome.topic_counts[topic] = outcome.topic_counts.get(topic, 0) + 1
+            self._classification = outcome
+        return self._classification
+
+    # -- shared models ---------------------------------------------------- #
+
+    @property
+    def language_detector(self) -> LanguageDetector:
+        """The shipped (pre-trained) language model."""
+        if self._language_detector is None:
+            self._language_detector = build_language_detector()
+        return self._language_detector
+
+    @property
+    def topic_classifier(self) -> TopicClassifier:
+        """The shipped (pre-trained) topic model."""
+        if self._topic_classifier is None:
+            self._topic_classifier = build_topic_classifier()
+        return self._topic_classifier
+
+    # -- conveniences ------------------------------------------------------ #
+
+    def classified_pages(self) -> List[FetchedPage]:
+        """Pages that survived the funnel."""
+        return list(self.classifiable().pages)

@@ -1,0 +1,224 @@
+"""§VI application — identifying Silk Road sellers by visit pattern.
+
+"Buyers visit Silk Road occasionally while sellers visit it periodically
+to update their product pages and check on orders. ... Catching even a
+small number of Silk Road sellers can seriously spoil Silk Road's
+reputation among other sellers."
+
+The experiment: a marketplace with a known buyer/seller split, a
+multi-day observation window, the §VI deanonymisation attack, and the
+visit-pattern classifier — scored against ground truth the attacker never
+sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis.report import ExperimentReport
+from repro.client.client import TorClient
+from repro.crypto.descriptor_id import REPLICAS, descriptor_id
+from repro.crypto.keys import KeyPair
+from repro.crypto.ring import RING_SIZE
+from repro.hs.service import HiddenService
+from repro.relay.relay import Relay
+from repro.sim.clock import DAY, HOUR, parse_date
+from repro.sim.rng import derive_rng
+from repro.worldbuild import HonestNetworkSpec, build_honest_network
+from repro.tracking import ClientDeanonAttack, deploy_attacker_guards
+from repro.tracking.patterns import (
+    SellerCriteria,
+    SellerIdentification,
+    classify_visitors,
+    patterns_from_captures,
+)
+
+
+@dataclass
+class Sec6Result:
+    """Outcome of the seller-identification experiment."""
+
+    identification: SellerIdentification
+    captures: int
+    attacker_guard_share: float
+    report: ExperimentReport = field(default_factory=lambda: ExperimentReport("sec6"))
+
+
+def run_sec6(
+    seed: int = 0,
+    honest_relays: int = 400,
+    attacker_guards: int = 14,
+    buyer_count: int = 800,
+    seller_count: int = 40,
+    observation_days: int = 7,
+    seller_visits_per_day: int = 4,
+    buyer_total_visits: int = 2,
+) -> Sec6Result:
+    """Run the marketplace observation end to end."""
+    start = parse_date("2013-03-01")
+    network, pool = build_honest_network(
+        seed,
+        start,
+        HonestNetworkSpec(relay_count=honest_relays, min_age_days=10),
+        rng_label="sec6-net",
+    )
+
+    marketplace = HiddenService(
+        keypair=KeyPair.generate(derive_rng(seed, "sec6", "market")), online_from=0
+    )
+    guards = deploy_attacker_guards(
+        network,
+        attacker_guards,
+        derive_rng(seed, "sec6", "guards"),
+        bandwidth=9000,
+        address_pool=pool,
+    )
+
+    # Attacker directories, re-ground per observed day (descriptor IDs are
+    # predictable, so keys are prepared in advance).  All three slots of
+    # both replicas are seized — the full-takeover positioning of the
+    # 31 Aug 2013 episode — so *every* fetch for the target transits an
+    # attacker directory and the capture rate is purely the guard race.
+    hsdir_rng = derive_rng(seed, "sec6", "hsdirs")
+    attacker_hsdirs: List[Relay] = []
+    gap = RING_SIZE // max(1, honest_relays) // 1000
+    for day in range(observation_days + 1):
+        when = start + day * DAY
+        for replica in range(REPLICAS):
+            desc = descriptor_id(marketplace.onion, when, replica)
+            point = int.from_bytes(desc, "big")
+            for slot in range(3):
+                key = KeyPair.forge_near(
+                    hsdir_rng, (point + slot * 2 * gap) % RING_SIZE, gap
+                )
+                relay = Relay(
+                    nickname=f"dirgrab{day}{replica}{slot}",
+                    ip=pool.allocate(),
+                    or_port=9001,
+                    keypair=key,
+                    bandwidth=400,
+                    started_at=start - 30 * HOUR,
+                )
+                network.add_relay(relay)
+                attacker_hsdirs.append(relay)
+
+    network.rebuild_consensus(start)
+    attack = ClientDeanonAttack(
+        hsdir_relay_ids={relay.relay_id for relay in attacker_hsdirs},
+        guard_fingerprints=frozenset(relay.fingerprint for relay in guards),
+        target_descriptor_ids=set(),
+        rng=derive_rng(seed, "sec6", "sig"),
+    )
+    attack.attach(network)
+
+    from repro.relay.flags import RelayFlags
+
+    guard_entries = network.consensus.with_flag(RelayFlags.GUARD)
+    total_bw = sum(entry.bandwidth for entry in guard_entries)
+    attacker_bw = sum(
+        entry.bandwidth
+        for entry in guard_entries
+        if entry.fingerprint in attack.guard_fingerprints
+    )
+    guard_share = attacker_bw / total_bw if total_bw else 0.0
+
+    # The visitor population.  Sellers check in several times a day, every
+    # day, near-periodically; buyers show up once or twice at random.
+    client_rng = derive_rng(seed, "sec6", "clients")
+    true_sellers: Set[int] = set()
+    sellers: List[TorClient] = []
+    buyers: List[TorClient] = []
+    for index in range(seller_count):
+        client = TorClient(
+            ip=0x30000000 + index, rng=derive_rng(seed, "sec6", "s", str(index))
+        )
+        client.refresh_guards(network)
+        true_sellers.add(client.ip)
+        sellers.append(client)
+    for index in range(buyer_count):
+        client = TorClient(
+            ip=0x60000000 + index, rng=derive_rng(seed, "sec6", "b", str(index))
+        )
+        client.refresh_guards(network)
+        buyers.append(client)
+
+    buyer_visit_days: Dict[int, List[int]] = {
+        client.ip: sorted(
+            client_rng.sample(range(observation_days), min(buyer_total_visits, observation_days))
+        )
+        for client in buyers
+    }
+
+    for day in range(observation_days):
+        day_start = start + day * DAY
+        network.rebuild_consensus(day_start)
+        network.publish_service(marketplace, day_start)
+        # The service's rotation boundary is offset inside the calendar day,
+        # so fetches late in the day derive the *next* period's IDs — watch
+        # both periods that touch this day.
+        attack.retarget(
+            {
+                descriptor_id(marketplace.onion, when, replica)
+                for when in (day_start, day_start + DAY)
+                for replica in range(REPLICAS)
+            }
+        )
+        for client in sellers:
+            # Routine: roughly every 24/k hours with small jitter.
+            step = DAY // seller_visits_per_day
+            for visit in range(seller_visits_per_day):
+                when = day_start + visit * step + client_rng.randint(0, step // 4)
+                client.fetch_onion(network, marketplace.onion, now=when)
+        for client in buyers:
+            if day in buyer_visit_days[client.ip]:
+                when = day_start + client_rng.randrange(DAY)
+                client.fetch_onion(network, marketplace.onion, now=when)
+
+    patterns = patterns_from_captures(attack.captures)
+    identified_sellers, identified_buyers = classify_visitors(
+        patterns, SellerCriteria()
+    )
+    identification = SellerIdentification(
+        identified_sellers=identified_sellers,
+        identified_buyers=identified_buyers,
+        true_sellers=frozenset(true_sellers),
+        observation_days=observation_days,
+    )
+
+    result = Sec6Result(
+        identification=identification,
+        captures=len(attack.captures),
+        attacker_guard_share=guard_share,
+    )
+    report = ExperimentReport(experiment="sec6-silkroad-sellers")
+    report.add("attacker guard share", None, round(guard_share, 4))
+    report.add("captures", None, len(attack.captures))
+    report.add("sellers identified", None, len(identified_sellers))
+    report.add("seller precision", 1.0, round(identification.precision, 3))
+    report.add(
+        "captured-seller recall",
+        None,  # grows with observation window and capture rate
+        round(identification.captured_seller_recall, 3),
+    )
+    # Guards are *pinned*: a client is capturable only while an attacker
+    # relay sits in its 3-guard set, so per guard generation the expected
+    # capturable fraction is 1-(1-share)³ — and every 30–60-day rotation
+    # re-rolls it, which is how the attack compounds over months.
+    capturable = 1 - (1 - guard_share) ** 3
+    report.add(
+        "P(seller capturable this guard generation)", None, round(capturable, 3)
+    )
+    captured_ips = {capture.client_ip for capture in attack.captures}
+    report.add(
+        "sellers capturable (measured)",
+        round(capturable * seller_count),
+        sum(1 for ip in true_sellers if ip in captured_ips),
+    )
+    report.note(
+        "sellers visit periodically, so nearly every *capturable* seller is "
+        "identified within a week; guard rotation re-rolls capturability "
+        "every 30-60 days — the paper's reputational-damage argument"
+    )
+    result.report = report
+    return result

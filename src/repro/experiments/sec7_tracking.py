@@ -1,0 +1,130 @@
+"""Section VII — Silk Road tracking detection over the consensus history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.report import ExperimentReport
+from repro.detection import (
+    SilkroadStudy,
+    SilkroadStudyConfig,
+    TrackingAnalyzer,
+    TrackingReport,
+)
+from repro.detection.analyzer import ServerKey
+from repro.detection.silkroad import SilkroadWorld
+from repro.sim.clock import Timestamp, parse_date
+
+YEAR_WINDOWS: Tuple[Tuple[str, str, str], ...] = (
+    ("year1", "2011-02-01", "2011-12-31"),
+    ("year2", "2012-01-01", "2012-12-31"),
+    ("year3", "2013-01-01", "2013-10-31"),
+)
+
+# The paper's qualitative findings per year window.
+PAPER_FINDINGS = {
+    "year1": "no clear indication of tracking (one strange server)",
+    "year2": "our own measurement servers detected",
+    "year3": "two external episodes: same-named set (ratio > 10k) and a "
+    "six-relay/three-IP full takeover on 31 Aug 2013",
+}
+
+
+@dataclass
+class Sec7Result:
+    """Detection outcome per year window plus ground-truth scoring."""
+
+    world: SilkroadWorld
+    yearly_reports: Dict[str, TrackingReport] = field(default_factory=dict)
+    likely_by_year: Dict[str, Dict[ServerKey, List[str]]] = field(default_factory=dict)
+    takeovers: List[Tuple[Timestamp, List[ServerKey]]] = field(default_factory=list)
+    report: ExperimentReport = field(default_factory=lambda: ExperimentReport("sec7"))
+
+    def detected_entities(self, year: str) -> Set[str]:
+        """Ground-truth entities whose servers were convicted in ``year``."""
+        convicted = set(self.likely_by_year.get(year, {}))
+        takeover_servers = {
+            server for _, servers in self.takeovers for server in servers
+        }
+        entities: Set[str] = set()
+        for entity, servers in self.world.ground_truth.items():
+            if servers & convicted:
+                entities.add(entity)
+            if entity == "aug-episode" and servers & takeover_servers:
+                entities.add(entity)
+        return entities
+
+    def honest_false_positives(self, year: str) -> int:
+        """Convicted servers that belong to no injected entity."""
+        injected = {
+            server
+            for servers in self.world.ground_truth.values()
+            for server in servers
+        }
+        return sum(
+            1
+            for server in self.likely_by_year.get(year, {})
+            if server not in injected
+        )
+
+
+def run_sec7(
+    seed: int = 0,
+    scale: float = 1.0,
+    config: Optional[SilkroadStudyConfig] = None,
+    world: Optional[SilkroadWorld] = None,
+) -> Sec7Result:
+    """Regenerate the Section VII analysis."""
+    if world is None:
+        if config is None:
+            config = SilkroadStudyConfig(seed=seed, scale=scale)
+        world = SilkroadStudy(config).build()
+    result = Sec7Result(world=world)
+    analyzer = TrackingAnalyzer(world.archive)
+
+    for year, start_text, end_text in YEAR_WINDOWS:
+        yearly = analyzer.analyze(
+            world.silkroad_onion, parse_date(start_text), parse_date(end_text)
+        )
+        result.yearly_reports[year] = yearly
+        result.likely_by_year[year] = yearly.likely_trackers()
+        if year == "year3":
+            result.takeovers = yearly.full_takeovers()
+
+    report = ExperimentReport(experiment="sec7-silkroad-tracking")
+    report.add("year1 likely trackers", 0, len(result.likely_by_year["year1"]))
+    report.add(
+        "year2 detects our trackers",
+        1,
+        1 if "our-trackers" in result.detected_entities("year2") else 0,
+    )
+    report.add(
+        "year3 detects may-episode",
+        1,
+        1 if "may-episode" in result.detected_entities("year3") else 0,
+    )
+    report.add(
+        "year3 detects aug-episode",
+        1,
+        1 if "aug-episode" in result.detected_entities("year3") else 0,
+    )
+    report.add("full takeovers found", 1, len(result.takeovers))
+    for year, _, _ in YEAR_WINDOWS:
+        report.add(
+            f"{year} honest false positives", 0, result.honest_false_positives(year)
+        )
+    year3 = result.yearly_reports["year3"]
+    extreme = year3.servers_with_flag("ratio-extreme")
+    may_servers = world.ground_truth.get("may-episode", set())
+    aug_servers = world.ground_truth.get("aug-episode", set())
+    only_injected_extreme = all(
+        server in may_servers | aug_servers for server in extreme
+    )
+    report.add(
+        "ratio>10k only in injected episodes", 1, 1 if only_injected_extreme else 0
+    )
+    for year, _, _ in YEAR_WINDOWS:
+        report.note(f"{year}: paper — {PAPER_FINDINGS[year]}")
+    result.report = report
+    return result

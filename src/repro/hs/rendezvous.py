@@ -1,0 +1,217 @@
+"""The rendezvous protocol (Section II: "Other Tor users can connect to
+them through so-called rendezvous points").
+
+End-to-end connection establishment to a hidden service:
+
+1. the client fetches the service's descriptor (introduction points inside);
+2. the client picks a *rendezvous point* (any Fast relay), builds a circuit
+   to it, and obtains a rendezvous cookie;
+3. the client builds a circuit to one of the service's *introduction
+   points* and sends INTRODUCE1 (rendezvous point + cookie);
+4. the service builds its own circuit — through *its* guard — to the
+   rendezvous point and the two circuits are joined.
+
+The simulator models the path structure and the failure modes the paper's
+measurements hinge on (stale descriptors, vanished introduction points),
+not the cell cryptography.  The joined connection yields an
+application-layer channel to the service's host, so a crawler could speak
+HTTP over a fully-modelled rendezvous circuit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.client.circuits import Circuit, CircuitBuilder
+from repro.crypto.keys import Fingerprint
+from repro.crypto.onion import OnionAddress
+from repro.errors import SimulationError
+from repro.hs.service import HiddenService
+from repro.net.endpoint import ConnectResult
+from repro.relay.flags import RelayFlags
+from repro.sim.clock import Timestamp
+
+if TYPE_CHECKING:  # circular: tornet imports repro.hs
+    from repro.tornet import TorNetwork
+
+
+@dataclass(frozen=True)
+class RendezvousCircuit:
+    """A joined client↔service connection."""
+
+    onion: OnionAddress
+    rendezvous_point: Fingerprint
+    client_circuit: Circuit
+    service_circuit: Circuit
+    established_at: Timestamp
+
+    @property
+    def client_guard(self) -> Fingerprint:
+        """First hop on the client side."""
+        return self.client_circuit.guard
+
+    @property
+    def service_guard(self) -> Fingerprint:
+        """First hop on the service side — what the §II.B attack watches."""
+        return self.service_circuit.guard
+
+    def connect(
+        self, network: "TorNetwork", port: int, rng: random.Random
+    ) -> ConnectResult:
+        """Open an application stream to ``port`` over the joined circuits."""
+        host = None
+        # The service side terminates at its own host; resolve through the
+        # registry-free path: the service object carries its host.
+        service = _service_registry_lookup(network, self.onion)
+        if service is not None:
+            host = service.host
+        if host is None or not host.is_online(network.clock.now):
+            from repro.net.endpoint import ConnectOutcome
+
+            return ConnectResult(
+                outcome=ConnectOutcome.UNREACHABLE,
+                port=port,
+                error_message="service host gone",
+            )
+        endpoint = host.endpoint_on(port)
+        if endpoint is None:
+            from repro.net.endpoint import ConnectOutcome
+
+            return ConnectResult(
+                outcome=ConnectOutcome.REFUSED,
+                port=port,
+                error_message="connection refused",
+            )
+        return endpoint.connect(rng)
+
+
+# The rendezvous layer needs to reach service objects; TorNetwork tracks
+# them when they publish (see RendezvousDirectory below).
+def _service_registry_lookup(
+    network: "TorNetwork", onion: OnionAddress
+) -> Optional[HiddenService]:
+    return getattr(network, "_rendezvous_services", {}).get(onion)
+
+
+class RendezvousProtocol:
+    """Drives connection establishment for one client identity."""
+
+    def __init__(
+        self,
+        network: "TorNetwork",
+        builder: CircuitBuilder,
+        rng: random.Random,
+    ) -> None:
+        self.network = network
+        self._builder = builder
+        self._rng = rng
+        self.introductions_attempted = 0
+        self.failures: List[str] = []
+
+    def register_service(self, service: HiddenService) -> None:
+        """Make the service reachable for rendezvous (server side is up)."""
+        registry = getattr(self.network, "_rendezvous_services", None)
+        if registry is None:
+            registry = {}
+            setattr(self.network, "_rendezvous_services", registry)
+        registry[service.onion] = service
+
+    def pick_introduction_points(
+        self, consensus, count: int = 3
+    ) -> Tuple[str, ...]:
+        """Service-side: choose introduction points (Stable relays)."""
+        stable = consensus.with_flag(RelayFlags.STABLE)
+        if len(stable) < count:
+            stable = list(consensus.entries)
+        picked = self._rng.sample(stable, min(count, len(stable)))
+        return tuple(entry.fingerprint.hex() for entry in picked)
+
+    def connect(
+        self,
+        onion: OnionAddress,
+        client_guards,
+        service: Optional[HiddenService] = None,
+    ) -> Optional[RendezvousCircuit]:
+        """Full client-side connection establishment.
+
+        Returns None (recording the reason) when any stage fails: no
+        descriptor, no usable introduction point, or the service no longer
+        answers introductions.
+        """
+        network = self.network
+        now = network.clock.now
+
+        # 1. Fetch the descriptor.
+        stored = network.fetch_onion(onion, self._rng, now=now)
+        if stored is None:
+            self.failures.append("no-descriptor")
+            return None
+        intro_fingerprints = [
+            bytes.fromhex(ip) for ip in stored.introduction_points if ip
+        ]
+        if not intro_fingerprints:
+            self.failures.append("no-introduction-points")
+            return None
+
+        # 2. Rendezvous point: any Fast relay not otherwise involved.
+        consensus = network.consensus
+        candidates = [
+            entry.fingerprint
+            for entry in consensus.with_flag(RelayFlags.FAST)
+            if entry.fingerprint not in intro_fingerprints
+        ]
+        if not candidates:
+            self.failures.append("no-rendezvous-candidates")
+            return None
+        rendezvous_point = self._rng.choice(candidates)
+        client_builder = self._builder
+        client_circuit = client_builder.build(
+            consensus, purpose="rendezvous", final_hop=rendezvous_point
+        )
+
+        # 3. INTRODUCE1 via a live introduction point.
+        intro_ok = False
+        self._rng.shuffle(intro_fingerprints)
+        for intro in intro_fingerprints:
+            self.introductions_attempted += 1
+            if consensus.entry_for(intro) is not None:
+                intro_ok = True
+                break
+        if not intro_ok:
+            self.failures.append("introduction-points-gone")
+            return None
+
+        # 4. Service side builds to the rendezvous point through its guard.
+        service = service or _service_registry_lookup(network, onion)
+        if service is None or not service.is_online(now):
+            self.failures.append("service-offline")
+            return None
+        service_guards = service.ensure_guards(network, self._rng)
+        service_builder = CircuitBuilder(service_guards, self._rng)
+        service_circuit = service_builder.build(
+            consensus, purpose="rendezvous-service", final_hop=rendezvous_point
+        )
+
+        return RendezvousCircuit(
+            onion=onion,
+            rendezvous_point=rendezvous_point,
+            client_circuit=client_circuit,
+            service_circuit=service_circuit,
+            established_at=now,
+        )
+
+
+def connect_to_service(
+    network: "TorNetwork",
+    client,
+    onion: OnionAddress,
+    rng: random.Random,
+) -> Optional[RendezvousCircuit]:
+    """Convenience: full rendezvous connect for a :class:`TorClient`."""
+    if not client.guards.fingerprints:
+        raise SimulationError("client has no guards; call refresh_guards first")
+    builder = CircuitBuilder(client.guards, rng)
+    protocol = RendezvousProtocol(network, builder, rng)
+    return protocol.connect(onion, client.guards)

@@ -1,0 +1,168 @@
+"""Descriptor storage and request logging at one HSDir.
+
+An :class:`HSDirServer` is the directory-side state of one relay: a cache of
+descriptors keyed by descriptor ID with 24-hour retention ("HS directories
+responsible for the previous time period erase its descriptor from the
+memory"), plus an append-only log of client fetches.  The paper's harvest
+reads both: stored descriptors yield onion addresses, and the fetch log
+yields popularity counts — including the ~80% of fetches that ask for
+descriptors that were never published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.crypto.descriptor_id import DescriptorId
+from repro.errors import DescriptorError
+from repro.sim.clock import DAY, HOUR, Timestamp
+
+
+@dataclass(frozen=True)
+class StoredDescriptor:
+    """A descriptor as held by a directory.
+
+    ``public_der`` is the service's public key material — the harvest
+    derives onion addresses from it ("collecting hidden services' public
+    keys (from which onion addresses are easily derived)").
+    """
+
+    descriptor_id: DescriptorId
+    public_der: bytes
+    replica: int
+    published_at: Timestamp
+    introduction_points: tuple = ()
+
+
+class RequestRecord(NamedTuple):
+    """One client descriptor fetch observed at this directory."""
+
+    time: Timestamp
+    descriptor_id: DescriptorId
+    found: bool
+
+
+class HSDirServer:
+    """Directory-side state of a single relay.
+
+    Request accounting has two granularities: per-descriptor-ID aggregate
+    counters (always on — cheap, and all Section V needs) and a detailed
+    per-request log (``keep_log``) for analyses that need timestamps, such as
+    windowed rate plots.  At the paper's volume (~10⁶ requests) the detailed
+    log is the memory hog, so harvest-scale experiments disable it.
+    """
+
+    RETENTION = DAY
+
+    # How often the expiry sweep actually walks the store.  Retention is
+    # 24 h; sub-hour precision buys nothing, and sweeping on every store
+    # and fetch is O(stored descriptors) — at harvest scale (millions of
+    # operations against thousands of cached descriptors) that sweep, not
+    # the protocol work, dominates runtime.
+    EXPIRY_GRANULARITY = HOUR
+
+    def __init__(self, relay_id: int, keep_log: bool = True) -> None:
+        self.relay_id = relay_id
+        self.keep_log = keep_log
+        self._store: Dict[DescriptorId, StoredDescriptor] = {}
+        self.request_log: List[RequestRecord] = []
+        # descriptor_id -> [found_count, not_found_count]
+        self.request_counts: Dict[DescriptorId, List[int]] = {}
+        self.publishes_received = 0
+        self._last_expiry_sweep: Timestamp = -(1 << 62)
+
+    def store(
+        self, descriptor: StoredDescriptor, now: Timestamp, validate: bool = False
+    ) -> None:
+        """Accept an uploaded descriptor, replacing any previous version.
+
+        With ``validate=True`` the directory re-derives the expected
+        descriptor ID from the embedded public key and the upload time and
+        rejects forgeries — what a real HSDir's signature/ID check buys.
+        """
+        if len(descriptor.descriptor_id) != 20:
+            raise DescriptorError(
+                f"descriptor id must be 20 bytes, got {len(descriptor.descriptor_id)}"
+            )
+        if validate and not self._upload_is_consistent(descriptor, now):
+            raise DescriptorError(
+                "descriptor id does not derive from the embedded key at this time"
+            )
+        self._expire(now)
+        self._store[descriptor.descriptor_id] = descriptor
+        self.publishes_received += 1
+
+    @staticmethod
+    def _upload_is_consistent(descriptor: StoredDescriptor, now: Timestamp) -> bool:
+        from repro.crypto.descriptor_id import descriptor_id
+        from repro.crypto.onion import onion_address_from_key
+
+        onion = onion_address_from_key(descriptor.public_der)
+        # Accept the current period and (grace) the one just ended: uploads
+        # race the rotation boundary in flight.
+        for when in (now, now - DAY):
+            if descriptor_id(onion, when, descriptor.replica) == descriptor.descriptor_id:
+                return True
+        return False
+
+    def fetch(
+        self, descriptor_id: DescriptorId, now: Timestamp, log: bool = True
+    ) -> Optional[StoredDescriptor]:
+        """Answer a client fetch, recording it in the request accounting."""
+        self._expire(now)
+        descriptor = self._store.get(descriptor_id)
+        if descriptor is not None and descriptor.published_at <= int(now) - self.RETENTION:
+            # Exact retention semantics even between lazy sweeps.
+            del self._store[descriptor_id]
+            descriptor = None
+        if log:
+            counts = self.request_counts.get(descriptor_id)
+            if counts is None:
+                counts = [0, 0]
+                self.request_counts[descriptor_id] = counts
+            counts[0 if descriptor is not None else 1] += 1
+            if self.keep_log:
+                self.request_log.append(
+                    RequestRecord(
+                        time=int(now),
+                        descriptor_id=descriptor_id,
+                        found=descriptor is not None,
+                    )
+                )
+        return descriptor
+
+    @property
+    def total_requests(self) -> int:
+        """Total logged fetches (found + not found)."""
+        return sum(found + missing for found, missing in self.request_counts.values())
+
+    def stored_descriptors(self, now: Timestamp) -> List[StoredDescriptor]:
+        """All unexpired descriptors currently held (harvest read-out)."""
+        self._expire(now)
+        cutoff = int(now) - self.RETENTION
+        return [d for d in self._store.values() if d.published_at > cutoff]
+
+    def requests_between(
+        self, start: Timestamp, end: Timestamp
+    ) -> List[RequestRecord]:
+        """Fetches logged in ``[start, end)``."""
+        return [r for r in self.request_log if start <= r.time < end]
+
+    def clear_log(self) -> None:
+        """Drop request accounting (attacker rotates its harvest windows)."""
+        self.request_log = []
+        self.request_counts = {}
+
+    def _expire(self, now: Timestamp) -> None:
+        if int(now) - self._last_expiry_sweep < self.EXPIRY_GRANULARITY:
+            return
+        self._last_expiry_sweep = int(now)
+        cutoff = int(now) - self.RETENTION
+        expired = [
+            desc_id
+            for desc_id, stored in self._store.items()
+            if stored.published_at <= cutoff
+        ]
+        for desc_id in expired:
+            del self._store[desc_id]

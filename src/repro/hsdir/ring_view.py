@@ -1,0 +1,50 @@
+"""Responsible-HSDir computation over a consensus.
+
+For each of the two replica descriptor IDs, the three HSDir-flagged relays
+whose fingerprints follow the ID on the ring are responsible — six
+directories per service per 24-hour period.  "The expression to compute next
+responsible HS directories is deterministic and an attacker can easily
+inject relays" (Section II, footnote 2): both the honest publish path and
+every attack in the paper call exactly this function.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.crypto.descriptor_id import REPLICAS, descriptor_id
+from repro.crypto.keys import Fingerprint
+from repro.crypto.onion import OnionAddress
+from repro.crypto.ring import HSDIRS_PER_REPLICA
+from repro.dirauth.consensus import Consensus
+from repro.sim.clock import Timestamp
+
+
+def responsible_for_replica(
+    consensus: Consensus,
+    onion: OnionAddress,
+    now: Timestamp,
+    replica: int,
+    count: int = HSDIRS_PER_REPLICA,
+) -> List[Fingerprint]:
+    """Fingerprints responsible for one replica of ``onion`` at ``now``."""
+    desc_id = descriptor_id(onion, now, replica)
+    return consensus.hsdir_ring.responsible_for(desc_id, count)
+
+
+def responsible_hsdirs(
+    consensus: Consensus,
+    onion: OnionAddress,
+    now: Timestamp,
+    count: int = HSDIRS_PER_REPLICA,
+) -> List[Fingerprint]:
+    """All responsible fingerprints for ``onion`` at ``now``, both replicas.
+
+    The result preserves replica order and may contain duplicates only when
+    the ring is tiny (fewer members than ``REPLICAS * count``); real-world
+    rings never collide, and callers that need a set can deduplicate.
+    """
+    result: List[Fingerprint] = []
+    for replica in range(REPLICAS):
+        result.extend(responsible_for_replica(consensus, onion, now, replica, count))
+    return result

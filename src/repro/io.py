@@ -1,0 +1,128 @@
+"""Artifact (de)serialisation.
+
+Experiments produce reports, rankings and distributions; this module turns
+them into plain JSON-compatible dictionaries and back, so benchmark runs
+can be archived, diffed across seeds, and loaded into notebooks without
+re-running multi-minute pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.analysis.report import ComparisonRow, ExperimentReport
+from repro.errors import ReproError
+from repro.popularity.ranking import PopularityRanking, RankedService
+from repro.scan.results import PortDistribution
+
+PathLike = Union[str, pathlib.Path]
+
+_SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: ExperimentReport) -> Dict[str, Any]:
+    """Serialise an :class:`ExperimentReport`."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "experiment-report",
+        "experiment": report.experiment,
+        "rows": [
+            {"label": row.label, "paper": row.paper, "measured": row.measured}
+            for row in report.rows
+        ],
+        "notes": list(report.notes),
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> ExperimentReport:
+    """Inverse of :func:`report_to_dict`."""
+    _check_kind(data, "experiment-report")
+    report = ExperimentReport(experiment=data["experiment"])
+    for row in data["rows"]:
+        report.rows.append(
+            ComparisonRow(
+                label=row["label"], paper=row["paper"], measured=row["measured"]
+            )
+        )
+    report.notes = list(data.get("notes", []))
+    return report
+
+
+def ranking_to_dict(ranking: PopularityRanking, limit: int = 0) -> Dict[str, Any]:
+    """Serialise a popularity ranking (``limit=0`` keeps every row)."""
+    rows = ranking.rows if limit <= 0 else ranking.rows[:limit]
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "popularity-ranking",
+        "rows": [
+            {
+                "rank": row.rank,
+                "requests": row.requests,
+                "onion": row.onion,
+                "description": row.description,
+            }
+            for row in rows
+        ],
+    }
+
+
+def ranking_from_dict(data: Dict[str, Any]) -> PopularityRanking:
+    """Inverse of :func:`ranking_to_dict`."""
+    _check_kind(data, "popularity-ranking")
+    ranking = PopularityRanking()
+    for row in data["rows"]:
+        ranked = RankedService(
+            rank=row["rank"],
+            requests=row["requests"],
+            onion=row["onion"],
+            description=row.get("description", "<n/a>"),
+        )
+        ranking.rows.append(ranked)
+        ranking._rank_by_onion[ranked.onion] = ranked.rank
+    return ranking
+
+
+def distribution_to_dict(distribution: PortDistribution) -> Dict[str, Any]:
+    """Serialise a Fig 1 port distribution."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "port-distribution",
+        "counts": dict(distribution.counts),
+        "unique_ports": distribution.unique_ports,
+        "total_open": distribution.total_open,
+    }
+
+
+def distribution_from_dict(data: Dict[str, Any]) -> PortDistribution:
+    """Inverse of :func:`distribution_to_dict`."""
+    _check_kind(data, "port-distribution")
+    return PortDistribution(
+        counts=dict(data["counts"]),
+        unique_ports=data["unique_ports"],
+        total_open=data["total_open"],
+    )
+
+
+def save_json(data: Dict[str, Any], path: PathLike) -> None:
+    """Write a serialised artifact to ``path``."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a serialised artifact from ``path``."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _check_kind(data: Dict[str, Any], expected: str) -> None:
+    kind = data.get("kind")
+    if kind != expected:
+        raise ReproError(f"expected artifact kind {expected!r}, got {kind!r}")
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported schema version {data.get('schema')!r} "
+            f"(this build reads {_SCHEMA_VERSION})"
+        )

@@ -1,0 +1,85 @@
+"""IPv4 addresses for the simulated network.
+
+Addresses are plain 32-bit integers (``IPv4``) with string helpers.  An
+:class:`AddressPool` hands out unique addresses deterministically; the
+2-relays-per-IP consensus rule and the attacker's "rent n IP addresses"
+step both operate on these.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from repro.errors import AddressExhaustedError, NetworkError
+
+IPv4 = int
+
+
+def ip_to_str(ip: IPv4) -> str:
+    """Render a 32-bit address as dotted-quad text.
+
+    >>> ip_to_str(0xC0A80001)
+    '192.168.0.1'
+    """
+    if not 0 <= ip <= 0xFFFFFFFF:
+        raise NetworkError(f"not a 32-bit address: {ip}")
+    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def str_to_ip(text: str) -> IPv4:
+    """Parse dotted-quad text into a 32-bit address.
+
+    >>> ip_to_str(str_to_ip("192.168.0.1"))
+    '192.168.0.1'
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise NetworkError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise NetworkError(f"not a dotted quad: {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise NetworkError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+class AddressPool:
+    """Deterministic allocator of unique public IPv4 addresses.
+
+    Draws uniformly from the unicast range, skipping private/reserved
+    prefixes, and never returns the same address twice.
+    """
+
+    _RESERVED_FIRST_OCTETS = {0, 10, 127, 169, 172, 192, 224, 240, 255}
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._allocated: Set[IPv4] = set()
+
+    @property
+    def allocated_count(self) -> int:
+        """How many addresses have been handed out."""
+        return len(self._allocated)
+
+    def allocate(self) -> IPv4:
+        """Return a fresh public address."""
+        for _ in range(10_000):
+            candidate = self._rng.getrandbits(32)
+            if (candidate >> 24) in self._RESERVED_FIRST_OCTETS:
+                continue
+            if candidate in self._allocated:
+                continue
+            self._allocated.add(candidate)
+            return candidate
+        raise AddressExhaustedError("address pool exhausted")
+
+    def allocate_many(self, count: int) -> List[IPv4]:
+        """Allocate ``count`` distinct addresses."""
+        if count < 0:
+            raise NetworkError(f"negative count: {count}")
+        return [self.allocate() for _ in range(count)]

@@ -1,0 +1,165 @@
+"""Service endpoints and connection outcomes.
+
+A :class:`Host` is anything reachable through the simulated Tor transport —
+in this study, the machine behind a hidden service.  It exposes
+:class:`ServiceEndpoint` objects on ports; connecting to a port yields a
+:class:`ConnectResult` whose outcome mirrors what the paper's scanner could
+observe over Tor:
+
+* ``OPEN`` — TCP connect succeeded (optionally with a banner).
+* ``REFUSED`` — the usual connection-refused error relayed by Tor.
+* ``TIMEOUT`` — the persistent timeout errors the paper mentions.
+* ``ABNORMAL_ERROR`` — the distinct error the Skynet malware produces on
+  port 55080: the bot accepts then immediately closes the connection unless
+  configured as a forwarder, which surfaces to the scanner as an error
+  message *different from the usual one* (Section III).  The paper counts
+  these as open ports.
+* ``UNREACHABLE`` — no descriptor / service offline; no per-port signal.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.errors import NetworkError
+from repro.sim.clock import Timestamp
+
+
+class ConnectOutcome(enum.Enum):
+    """What a connection attempt to ``onion:port`` observed."""
+
+    OPEN = "open"
+    REFUSED = "refused"
+    TIMEOUT = "timeout"
+    ABNORMAL_ERROR = "abnormal-error"
+    UNREACHABLE = "unreachable"
+
+    @property
+    def counts_as_open(self) -> bool:
+        """Whether the paper's scanner tallies this outcome as an open port.
+
+        The Skynet abnormal error is counted as open (Section III: "counted
+        such events as open ports").
+        """
+        return self in (ConnectOutcome.OPEN, ConnectOutcome.ABNORMAL_ERROR)
+
+
+@dataclass
+class ConnectResult:
+    """Outcome of one connection attempt."""
+
+    outcome: ConnectOutcome
+    port: int
+    banner: str = ""
+    error_message: str = ""
+    endpoint: Optional["ServiceEndpoint"] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when an application-layer conversation is possible."""
+        return self.outcome is ConnectOutcome.OPEN
+
+
+@dataclass
+class ServiceEndpoint:
+    """A listening service on one port of a host.
+
+    ``application`` is an optional duck-typed application-layer handler (the
+    population's web servers attach objects with a ``handle_request`` method
+    and, for HTTPS, a ``certificate`` attribute).
+    """
+
+    port: int
+    protocol: str = "tcp"
+    banner: str = ""
+    abnormal_error: bool = False
+    timeout_probability: float = 0.0
+    application: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.port <= 65535:
+            raise NetworkError(f"port out of range: {self.port}")
+        if not 0.0 <= self.timeout_probability <= 1.0:
+            raise NetworkError(
+                f"timeout probability out of range: {self.timeout_probability}"
+            )
+
+    def connect(self, rng: random.Random) -> ConnectResult:
+        """Attempt a TCP-level connection to this endpoint."""
+        if self.abnormal_error:
+            return ConnectResult(
+                outcome=ConnectOutcome.ABNORMAL_ERROR,
+                port=self.port,
+                error_message="connection closed unexpectedly (code 0xF1)",
+                endpoint=self,
+            )
+        if self.timeout_probability and rng.random() < self.timeout_probability:
+            return ConnectResult(
+                outcome=ConnectOutcome.TIMEOUT,
+                port=self.port,
+                error_message="connection timed out",
+                endpoint=self,
+            )
+        return ConnectResult(
+            outcome=ConnectOutcome.OPEN,
+            port=self.port,
+            banner=self.banner,
+            endpoint=self,
+        )
+
+
+@runtime_checkable
+class Host(Protocol):
+    """Anything the transport can connect to."""
+
+    def is_online(self, now: Timestamp) -> bool:
+        """Whether the host answers at all at ``now``."""
+        ...
+
+    def endpoint_on(self, port: int) -> Optional[ServiceEndpoint]:
+        """The endpoint listening on ``port``, or None when closed."""
+        ...
+
+
+@dataclass
+class SimpleHost:
+    """A concrete :class:`Host` with a fixed endpoint table and uptime window.
+
+    ``online_from``/``online_until`` bound the host's lifetime; churn between
+    the paper's harvest (4 Feb), scans (14–21 Feb) and crawl (~April) is
+    expressed by hosts whose windows end between those dates.  ``down_days``
+    lists whole days (day numbers since the epoch) on which the host is
+    temporarily offline — the short-term churn that cost the paper's scan
+    13% of its port coverage.
+    """
+
+    endpoints: Dict[int, ServiceEndpoint] = field(default_factory=dict)
+    online_from: Timestamp = 0
+    online_until: Optional[Timestamp] = None
+    down_days: frozenset = frozenset()
+
+    def add_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        """Register a listening service; one endpoint per port."""
+        if endpoint.port in self.endpoints:
+            raise NetworkError(f"port {endpoint.port} already bound")
+        self.endpoints[endpoint.port] = endpoint
+
+    def is_online(self, now: Timestamp) -> bool:
+        if now < self.online_from:
+            return False
+        if self.online_until is not None and now >= self.online_until:
+            return False
+        if self.down_days and (int(now) // 86_400) in self.down_days:
+            return False
+        return True
+
+    def endpoint_on(self, port: int) -> Optional[ServiceEndpoint]:
+        return self.endpoints.get(port)
+
+    @property
+    def open_ports(self) -> List[int]:
+        """Sorted list of ports with listening services."""
+        return sorted(self.endpoints)

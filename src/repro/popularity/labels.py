@@ -1,0 +1,128 @@
+"""Service labelling for the ranking (Table II's "Desc" column).
+
+Two label sources, mirroring the paper's methodology:
+
+* **Out-of-band knowledge** — addresses that were publicly known in 2013
+  (Silk Road, DuckDuckGo, Freedom Hosting, the Rapid7-published Skynet
+  list, …).  :class:`ServiceLabeler` carries such a map; in experiments it
+  is built from the population's public labels — the equivalent of reading
+  the Hidden Wiki.
+* **Active investigation** — the Goldnet discovery.  The top services were
+  unknown to every search engine, exposed only port 80, answered 503, and
+  *did* serve ``/server-status``; identical Apache uptimes grouped the nine
+  fronts onto two machines.  :func:`investigate_goldnet` reproduces that
+  forensic chain against the live simulation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.onion import OnionAddress
+from repro.net.transport import TorTransport
+from repro.popularity.ranking import PopularityRanking
+from repro.sim.clock import Timestamp
+
+_UPTIME_RE = re.compile(r"Server uptime:\s*(\d+)\s*seconds")
+_RATE_RE = re.compile(r"([\d.]+)\s*requests/sec")
+_TRAFFIC_RE = re.compile(r"([\d.]+)\s*kB/second")
+
+
+@dataclass
+class GoldnetFinding:
+    """Forensic evidence for one suspected botnet front."""
+
+    onion: OnionAddress
+    uptime: int
+    requests_per_sec: float
+    kbytes_per_sec: float
+    server_group: int = -1  # filled in after uptime grouping
+
+
+@dataclass
+class ServiceLabeler:
+    """Combines known-address labels with investigation results."""
+
+    known: Dict[OnionAddress, str] = field(default_factory=dict)
+
+    def add_known(self, onion: OnionAddress, label: str) -> None:
+        """Register an out-of-band-identified address."""
+        self.known[onion] = label
+
+    def add_known_many(self, labels: Dict[OnionAddress, str]) -> None:
+        """Register many known addresses."""
+        self.known.update(labels)
+
+    def labels_for(self, onions: Iterable[OnionAddress]) -> Dict[OnionAddress, str]:
+        """Labels for the subset of ``onions`` we can name."""
+        return {onion: self.known[onion] for onion in onions if onion in self.known}
+
+
+def _probe_server_status(
+    transport: TorTransport, onion: OnionAddress, when: Timestamp
+) -> Optional[GoldnetFinding]:
+    """Check one onion for the Goldnet signature; None if it doesn't match."""
+    front = transport.connect(onion, 80, when)
+    if not front.ok or front.endpoint is None:
+        return None
+    application = front.endpoint.application
+    if application is None or not hasattr(application, "handle_request"):
+        return None
+    root = application.handle_request("/", when)
+    if root.status != 503:
+        return None
+    status_page = application.handle_request("/server-status", when)
+    if status_page.status != 200:
+        return None
+    uptime_m = _UPTIME_RE.search(status_page.body)
+    rate_m = _RATE_RE.search(status_page.body)
+    traffic_m = _TRAFFIC_RE.search(status_page.body)
+    if not (uptime_m and rate_m and traffic_m):
+        return None
+    return GoldnetFinding(
+        onion=onion,
+        uptime=int(uptime_m.group(1)),
+        requests_per_sec=float(rate_m.group(1)),
+        kbytes_per_sec=float(traffic_m.group(1)),
+    )
+
+
+def investigate_goldnet(
+    transport: TorTransport,
+    ranking: PopularityRanking,
+    when: Timestamp,
+    candidates: int = 60,
+    uptime_tolerance: int = 5,
+) -> Tuple[Dict[OnionAddress, str], List[GoldnetFinding]]:
+    """Reproduce the Section V forensic chain over the top of the ranking.
+
+    Probes the ``candidates`` most popular *unlabelled* services for the
+    503 + server-status signature, then groups hits by Apache uptime
+    (within ``uptime_tolerance`` seconds, as the probes happen at one
+    sitting).  Returns (labels, findings).
+    """
+    findings: List[GoldnetFinding] = []
+    for row in ranking.top(candidates):
+        if row.description != "<n/a>":
+            continue
+        finding = _probe_server_status(transport, row.onion, when)
+        if finding is not None:
+            findings.append(finding)
+
+    # Group by uptime: identical uptimes → same physical machine.
+    findings.sort(key=lambda f: f.uptime)
+    group = -1
+    previous_uptime: Optional[int] = None
+    for finding in findings:
+        if (
+            previous_uptime is None
+            or abs(finding.uptime - previous_uptime) > uptime_tolerance
+        ):
+            group += 1
+        finding.server_group = group
+        previous_uptime = finding.uptime
+
+    labels = {finding.onion: "Goldnet" for finding in findings}
+    return labels, findings

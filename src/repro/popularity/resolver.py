@@ -1,0 +1,156 @@
+"""Descriptor-ID → onion-address resolution.
+
+The request logs harvested at the attacker's directories are keyed by
+descriptor ID, not onion address.  Because the derivation is deterministic,
+the attacker can invert it *for onions it knows*: "For each address in the
+list we computed corresponding descriptor IDs for each day between 28
+January 2013 and 8 February in order to deal with possible wrong time
+settings of Tor clients" (Section V).
+
+IDs that resolve to nothing belong to onions outside the harvested
+database — in the paper's data a striking 80% of requests asked for
+descriptors that never existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.descriptor_id import (
+    REPLICAS,
+    DescriptorId,
+    descriptor_id,
+    time_period_for,
+)
+from repro.crypto.onion import OnionAddress, permanent_id_from_onion
+from repro.sim.clock import DAY, Timestamp
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of resolving a harvested request-count table."""
+
+    requests_per_onion: Dict[OnionAddress, int] = field(default_factory=dict)
+    resolved_ids: int = 0
+    unresolved_ids: int = 0
+    resolved_requests: int = 0
+    unresolved_requests: int = 0
+    id_to_onion: Dict[DescriptorId, OnionAddress] = field(default_factory=dict)
+
+    @property
+    def total_unique_ids(self) -> int:
+        """Distinct descriptor IDs in the harvest."""
+        return self.resolved_ids + self.unresolved_ids
+
+    @property
+    def resolved_onion_count(self) -> int:
+        """Distinct onion addresses the IDs resolved to."""
+        return len(self.requests_per_onion)
+
+    @property
+    def phantom_request_fraction(self) -> float:
+        """Share of request volume that resolved to nothing."""
+        total = self.resolved_requests + self.unresolved_requests
+        return self.unresolved_requests / total if total else 0.0
+
+
+class DescriptorResolver:
+    """Inverts descriptor IDs over a harvested onion database."""
+
+    def __init__(
+        self,
+        onion_database: Iterable[OnionAddress],
+        window_start: Timestamp,
+        window_end: Timestamp,
+    ) -> None:
+        """Precompute every descriptor ID each onion uses in the window.
+
+        The index covers every day in ``[window_start, window_end]`` × both
+        replicas — exactly the paper's multi-day derivation.  Each entry
+        also records the ID's *validity period* (when the service actually
+        used it), which rate normalisation needs.
+        """
+        self.window = (window_start, window_end)
+        self._index: Dict[DescriptorId, OnionAddress] = {}
+        self._validity: Dict[DescriptorId, Tuple[Timestamp, Timestamp]] = {}
+        self.database_size = 0
+        for onion in onion_database:
+            self.database_size += 1
+            permanent_id = permanent_id_from_onion(onion)
+            offset = (permanent_id[0] * DAY) // 256
+            first = time_period_for(window_start, permanent_id)
+            last = time_period_for(window_end, permanent_id)
+            for period in range(first, last + 1):
+                period_start = period * DAY - offset
+                for replica in range(REPLICAS):
+                    desc = descriptor_id(onion, period_start, replica)
+                    self._index[desc] = onion
+                    self._validity[desc] = (period_start, period_start + DAY)
+
+    @property
+    def index_size(self) -> int:
+        """Number of (descriptor ID → onion) entries derived."""
+        return len(self._index)
+
+    def lookup(self, desc_id: DescriptorId) -> OnionAddress | None:
+        """Resolve one descriptor ID, or None."""
+        return self._index.get(desc_id)
+
+    def validity_of(
+        self, desc_id: DescriptorId
+    ) -> Optional[Tuple[Timestamp, Timestamp]]:
+        """[start, end) during which a resolvable ID was in service."""
+        return self._validity.get(desc_id)
+
+    def resolve(
+        self, request_counts: Dict[DescriptorId, List[int]]
+    ) -> ResolutionResult:
+        """Resolve a harvest's ``descriptor_id -> [found, missing]`` table."""
+        result = ResolutionResult()
+        for desc_id, (found, missing) in request_counts.items():
+            count = found + missing
+            onion = self._index.get(desc_id)
+            if onion is None:
+                result.unresolved_ids += 1
+                result.unresolved_requests += count
+                continue
+            result.resolved_ids += 1
+            result.resolved_requests += count
+            result.id_to_onion[desc_id] = onion
+            result.requests_per_onion[onion] = (
+                result.requests_per_onion.get(onion, 0) + count
+            )
+        return result
+
+    def resolve_normalized(
+        self,
+        request_counts: Dict[DescriptorId, List[int]],
+        normalizer,
+    ) -> ResolutionResult:
+        """Like :meth:`resolve` but scales each ID's raw count to a rate.
+
+        ``normalizer(desc_id, found, missing, validity) -> float`` converts
+        observed counts into a per-window rate (see
+        :meth:`repro.trawl.harvest.RingHistory.normalized_rate`); resolved
+        IDs carry their validity period so the normaliser can restrict
+        coverage accounting to it.  Per-onion totals are rounded at the end.
+        """
+        result = ResolutionResult()
+        per_onion: Dict[OnionAddress, float] = {}
+        for desc_id, (found, missing) in request_counts.items():
+            raw = found + missing
+            onion = self._index.get(desc_id)
+            if onion is None:
+                result.unresolved_ids += 1
+                result.unresolved_requests += raw
+                continue
+            rate = normalizer(desc_id, found, missing, self._validity.get(desc_id))
+            result.resolved_ids += 1
+            result.resolved_requests += raw
+            result.id_to_onion[desc_id] = onion
+            per_onion[onion] = per_onion.get(onion, 0.0) + rate
+        result.requests_per_onion = {
+            onion: round(rate) for onion, rate in per_onion.items()
+        }
+        return result

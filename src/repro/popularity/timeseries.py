@@ -1,0 +1,149 @@
+"""Request-rate time series and machine-vs-human traffic forensics.
+
+Part of what betrayed Goldnet (Section V) was traffic *shape*: "traffic to
+these servers remained constant at about 330 KBytes/sec and had about 10
+client requests per second, almost exclusively POST requests".  Botnets
+phone home on timers; people sleep.  This module builds per-bucket request
+series from directory logs and scores their constancy, giving measurement
+code a second, content-free botnet detector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.crypto.descriptor_id import DescriptorId
+from repro.errors import ReproError
+from repro.hsdir.directory import HSDirServer
+from repro.sim.clock import HOUR, Timestamp
+
+
+@dataclass
+class RequestTimeSeries:
+    """Request counts per fixed-width time bucket."""
+
+    start: Timestamp
+    bucket_seconds: int
+    counts: List[int]
+
+    def __post_init__(self) -> None:
+        if self.bucket_seconds <= 0:
+            raise ReproError(f"bucket width must be positive: {self.bucket_seconds}")
+
+    @property
+    def total(self) -> int:
+        """All requests in the series."""
+        return sum(self.counts)
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean requests per bucket."""
+        return self.total / len(self.counts) if self.counts else 0.0
+
+    def coefficient_of_variation(self) -> float:
+        """σ/μ of the bucket counts — the constancy statistic.
+
+        Timer-driven (botnet) traffic sits near the Poisson floor
+        ``1/sqrt(mean)``; human traffic adds diurnal swing on top.
+        """
+        if not self.counts:
+            return 0.0
+        mean = self.mean_rate
+        if mean == 0:
+            return 0.0
+        variance = sum((c - mean) ** 2 for c in self.counts) / len(self.counts)
+        return math.sqrt(variance) / mean
+
+    def poisson_floor(self) -> float:
+        """The CV a perfectly constant-rate (Poisson) source would show."""
+        mean = self.mean_rate
+        return 1.0 / math.sqrt(mean) if mean > 0 else 0.0
+
+    def is_machine_like(self, tolerance: float = 2.0) -> bool:
+        """Whether the series is consistent with a constant-rate source.
+
+        True when the observed CV is within ``tolerance`` × the Poisson
+        floor — i.e. no more bursty than pure arrival noise allows.
+        """
+        return self.coefficient_of_variation() <= tolerance * self.poisson_floor()
+
+    def format_sparkline(self) -> str:
+        """One-line bar rendering of the series."""
+        if not self.counts:
+            return "(empty)"
+        blocks = " ▁▂▃▄▅▆▇█"
+        peak = max(self.counts) or 1
+        return "".join(
+            blocks[min(8, round(8 * count / peak))] for count in self.counts
+        )
+
+
+def series_from_log(
+    server: HSDirServer,
+    start: Timestamp,
+    end: Timestamp,
+    bucket_seconds: int = HOUR,
+    descriptor_ids: Optional[Iterable[DescriptorId]] = None,
+) -> RequestTimeSeries:
+    """Bucket one directory's detailed request log.
+
+    Requires the server to have been created with ``keep_log=True``.
+    ``descriptor_ids`` restricts the series to specific IDs (one service).
+    """
+    if end <= start:
+        raise ReproError(f"empty window: [{start}, {end})")
+    wanted = set(descriptor_ids) if descriptor_ids is not None else None
+    buckets = [0] * max(1, (int(end) - int(start) + bucket_seconds - 1) // bucket_seconds)
+    for record in server.request_log:
+        if not start <= record.time < end:
+            continue
+        if wanted is not None and record.descriptor_id not in wanted:
+            continue
+        buckets[(record.time - int(start)) // bucket_seconds] += 1
+    return RequestTimeSeries(
+        start=int(start), bucket_seconds=bucket_seconds, counts=buckets
+    )
+
+
+def merge_series(series: Sequence[RequestTimeSeries]) -> RequestTimeSeries:
+    """Sum aligned series from several directories."""
+    if not series:
+        raise ReproError("nothing to merge")
+    first = series[0]
+    for other in series[1:]:
+        if (
+            other.start != first.start
+            or other.bucket_seconds != first.bucket_seconds
+            or len(other.counts) != len(first.counts)
+        ):
+            raise ReproError("series are not aligned")
+    counts = [0] * len(first.counts)
+    for one in series:
+        for index, count in enumerate(one.counts):
+            counts[index] += count
+    return RequestTimeSeries(
+        start=first.start, bucket_seconds=first.bucket_seconds, counts=counts
+    )
+
+
+def classify_services_by_shape(
+    series_per_service: Dict[str, RequestTimeSeries],
+    tolerance: float = 2.0,
+    min_requests: int = 50,
+) -> Dict[str, str]:
+    """Label each service ``machine`` / ``human`` / ``low-volume``.
+
+    The content-free counterpart of the paper's server-status forensics:
+    rank candidates by traffic shape before probing them.
+    """
+    labels: Dict[str, str] = {}
+    for service, series in series_per_service.items():
+        if series.total < min_requests:
+            labels[service] = "low-volume"
+        elif series.is_machine_like(tolerance):
+            labels[service] = "machine"
+        else:
+            labels[service] = "human"
+    return labels

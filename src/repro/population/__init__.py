@@ -1,0 +1,20 @@
+"""Synthetic hidden-service population.
+
+Generates the world the measurement pipeline is pointed at: ~40k hidden
+services whose port mix, content topics, languages, botnet behaviours and
+popularity are calibrated to the marginals the paper reports.  The pipeline
+(scan → crawl → classify → rank) must *recover* these planted distributions;
+no experiment reads the generator's ground truth directly.
+"""
+
+from repro.population.spec import PopulationSpec
+from repro.population.generator import GeneratedPopulation, generate_population
+from repro.population.corpus import TOPICS, LANGUAGES
+
+__all__ = [
+    "PopulationSpec",
+    "GeneratedPopulation",
+    "generate_population",
+    "TOPICS",
+    "LANGUAGES",
+]

@@ -1,0 +1,93 @@
+"""Botnet host construction: Skynet and "Goldnet".
+
+Skynet (Section III): a Tor-powered botnet whose infected machines expose a
+hidden service with *no* ordinary open ports, but whose port 55080 answers
+with an error message different from the usual one (the malware accepts and
+immediately drops connections unless configured as a forwarder).  The paper
+identified 13,854 such onions — over half the live population.
+
+"Goldnet" (Section V): the paper's name for a probable botnet discovered
+from the popularity data: nine extremely popular onion addresses, port 80
+only, returning 503 on every request, with an exposed Apache server-status
+page revealing ~330 kB/s of almost-all-POST traffic.  Identical Apache
+uptimes grouped the nine fronts onto two physical machines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.net.endpoint import ServiceEndpoint, SimpleHost
+from repro.population.spec import PORT_HTTP, PORT_SKYNET
+from repro.population.webserver import (
+    GoldnetApp,
+    PhysicalServer,
+    SkynetPortBehavior,
+    TlsCertificate,
+)
+from repro.sim.clock import DAY, Timestamp
+
+
+def make_skynet_bot_host(
+    bot_id: int,
+    online_from: Timestamp,
+    online_until: Optional[Timestamp],
+) -> SimpleHost:
+    """An infected machine: only the tell-tale port 55080."""
+    host = SimpleHost(online_from=online_from, online_until=online_until)
+    host.add_endpoint(
+        ServiceEndpoint(
+            port=PORT_SKYNET,
+            protocol="skynet-fwd",
+            abnormal_error=True,
+            application=SkynetPortBehavior(bot_id=bot_id),
+        )
+    )
+    return host
+
+
+def make_goldnet_servers(
+    split: tuple,
+    now: Timestamp,
+    rng: random.Random,
+) -> List[PhysicalServer]:
+    """The physical machines behind the Goldnet fronts.
+
+    Each machine gets its own boot time (weeks in the past), so fronts of
+    the same machine share an Apache uptime — the forensic tell the paper
+    used to group them.
+    """
+    servers: List[PhysicalServer] = []
+    for server_id in range(len(split)):
+        booted_at = int(now) - rng.randint(20, 90) * DAY - rng.randint(0, DAY - 1)
+        servers.append(
+            PhysicalServer(
+                server_id=server_id,
+                booted_at=booted_at,
+                traffic_bytes_per_sec=330_000 + rng.randint(-15_000, 15_000),
+                requests_per_sec=10.0 + rng.uniform(-0.8, 0.8),
+            )
+        )
+    return servers
+
+
+def make_goldnet_front_host(
+    server: PhysicalServer,
+    online_from: Timestamp,
+    certificate: Optional[TlsCertificate] = None,
+) -> SimpleHost:
+    """One Goldnet front: port 80, 503s everywhere, server-status exposed.
+
+    Fronts never churn — the C&C must stay reachable for the bots — which is
+    also why they are always found by the scanner.
+    """
+    host = SimpleHost(online_from=online_from, online_until=None)
+    host.add_endpoint(
+        ServiceEndpoint(
+            port=PORT_HTTP,
+            protocol="http",
+            application=GoldnetApp(server=server, certificate=certificate),
+        )
+    )
+    return host

@@ -1,0 +1,342 @@
+"""Vocabulary for synthetic page content.
+
+Two axes, matching the paper's two classification tasks:
+
+* **Topics** — the 18 categories of Fig 2, each with a characteristic
+  English vocabulary.  Topic classification (Mallet/uClassify in the paper)
+  is word-based, so category vocabularies are what make it learnable.
+* **Languages** — the 17 languages of Section IV, each with common words in
+  native orthography.  Language identification (Langdetect in the paper) is
+  character-n-gram-based, so the lists carry each language's distinctive
+  character statistics (diacritics, Cyrillic, kana, hanzi, Arabic script…).
+
+The lists are deliberately redundant — classifiers must cope with pages that
+mix topical words into generic filler, as real pages do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# --------------------------------------------------------------------------- #
+# Topics (Fig 2 categories)
+# --------------------------------------------------------------------------- #
+
+TOPIC_VOCABULARY: Dict[str, List[str]] = {
+    "adult": """
+        adult escort cam webcam amateur explicit mature erotic lingerie
+        fetish nude model gallery video premium membership verified candy
+        teens dating hookup intimate sensual private pictures uncensored
+        hardcore softcore exclusive preview subscribe performers studio
+        """.split(),
+    "drugs": """
+        cannabis weed marijuana hash hashish mdma ecstasy lsd acid cocaine
+        heroin opium mushrooms psilocybin amphetamine speed ketamine dose
+        gram ounce stealth shipping vendor escrow review purity lab tested
+        strain indica sativa edibles tabs blotter pills pharmacy opiates
+        benzos prescription narcotics dealer listing marketplace
+        """.split(),
+    "politics": """
+        corruption government censorship freedom speech rights human leak
+        leaked cables whistleblower regime oppression protest revolution
+        democracy election propaganda surveillance activist dissident asylum
+        journalist repression liberty constitution amendment policy reform
+        transparency accountability wikileaks documents classified embassy
+        """.split(),
+    "counterfeit": """
+        counterfeit fake replica passport license identity card ssn cloned
+        credit cards dumps cvv fullz track skimmer bills currency euros
+        dollars notes hologram document forged stolen accounts paypal bank
+        transfer cashout carding marketplace vendor verified balance
+        """.split(),
+    "weapon": """
+        gun pistol rifle firearm ammunition ammo rounds caliber glock
+        holster barrel trigger silencer suppressor magazine tactical knife
+        blade explosive detonator armory dealer shipment untraceable serial
+        handgun shotgun optics scope kevlar armor
+        """.split(),
+    "faq_tutorials": """
+        tutorial guide howto faq beginners instructions step walkthrough
+        manual lesson learn basics introduction explained tips tricks setup
+        configure install troubleshooting question answer wiki knowledge
+        documentation example practice course primer
+        """.split(),
+    "security": """
+        security vulnerability exploit patch firewall antivirus malware
+        encryption cipher key certificate audit penetration testing cve
+        advisory disclosure zero hardening sandbox threat intrusion
+        detection incident response forensics integrity authentication
+        password hash sha rsa aes
+        """.split(),
+    "anonymity": """
+        anonymity anonymous privacy tor onion hidden service relay circuit
+        pseudonym untraceable metadata tails pgp gpg encrypted remailer
+        mixnet vpn proxy fingerprinting deanonymization operational opsec
+        jabber xmpp otr bitmessage i2p freenet darknet surveillance
+        mail hosting
+        """.split(),
+    "hacking": """
+        hack hacking hacker botnet ddos exploit rootkit trojan keylogger
+        phishing spoofing injection sql xss shell backdoor payload crack
+        cracking bruteforce defacement leak database breach dox rat stealer
+        spam flood
+        """.split(),
+    "software_hardware": """
+        software hardware linux debian windows kernel driver compiler code
+        repository release version download binary source opensource server
+        hosting cpu gpu motherboard firmware embedded raspberry arduino
+        android package build patch library framework python javascript
+        """.split(),
+    "art": """
+        art gallery painting poetry poem literature novel drawing sketch
+        photography creative artist exhibition sculpture music album lyrics
+        fiction stories zine collage aesthetic illustration portfolio
+        """.split(),
+    "services": """
+        service escrow laundering laundry mixer tumbler bets hitman hire
+        killer thief mercenary fixer middleman guarantor vouch reputation
+        delivery courier exchange transfer wallet fee commission invoice
+        consulting translation passport rental
+        """.split(),
+    "games": """
+        game chess poker lottery casino dice roulette blackjack jackpot
+        wager bet odds tournament player leaderboard puzzle arcade rpg
+        multiplayer server rules elo rating stake payout bitcoin
+        """.split(),
+    "science": """
+        science research physics chemistry biology mathematics theorem
+        experiment hypothesis laboratory journal paper peer quantum
+        molecule genome neuroscience astronomy telescope particle dataset
+        statistics analysis academic
+        """.split(),
+    "digital_libs": """
+        library ebook ebooks books archive collection pdf epub mobi
+        catalogue index texts manuscripts journal magazine mirror torrent
+        repository shelf reading author title isbn borrow download
+        literature encyclopedia
+        """.split(),
+    "sports": """
+        sports football soccer basketball tennis hockey boxing marathon
+        league championship match score team player coach season betting
+        fixtures tournament stadium goal referee transfer standings
+        """.split(),
+    "technology": """
+        technology internet network protocol router bandwidth latency fiber
+        wireless telecom startup innovation gadget review benchmark cloud
+        datacenter storage processor silicon chip robotics automation
+        artificial intelligence blockchain
+        """.split(),
+    "other": """
+        forum board community discussion thread post reply member random
+        misc general chat blog diary personal journal announcement news
+        update links directory miscellaneous welcome page about contact
+        """.split(),
+}
+
+TOPICS: List[str] = sorted(TOPIC_VOCABULARY)
+
+# Display names used in Fig 2 of the paper, keyed by our topic slug.
+TOPIC_DISPLAY_NAMES: Dict[str, str] = {
+    "adult": "Adult",
+    "drugs": "Drugs",
+    "politics": "Politics",
+    "counterfeit": "Counterfeit",
+    "weapon": "Weapon",
+    "faq_tutorials": "FAQs,Tutorials",
+    "security": "Security",
+    "anonymity": "Anonymity",
+    "hacking": "Hacking",
+    "software_hardware": "Sofware,Hardware",
+    "art": "Art",
+    "services": "Services",
+    "games": "Games",
+    "science": "Science",
+    "digital_libs": "Digital libs",
+    "sports": "Sports",
+    "technology": "Technology",
+    "other": "Other",
+}
+
+# Generic English filler every page mixes in (classifiers must not rely on
+# pages being purely topical).
+ENGLISH_FILLER: List[str] = """
+    the and for with this that from have will your more about when where
+    what which their there here also other some many most very much can
+    could should would just like time page site welcome please contact
+    email address new old best only over under between because however
+    during after before first last next public free open world people
+    """.split()
+
+# --------------------------------------------------------------------------- #
+# Languages (Section IV: English + 16 others)
+# --------------------------------------------------------------------------- #
+
+LANGUAGE_VOCABULARY: Dict[str, List[str]] = {
+    "en": ENGLISH_FILLER
+    + """
+        information website content service online network message forum
+        community privacy secure account member register login welcome
+        """.split(),
+    "de": """
+        der die das und ist nicht mit für eine einer über aber auch wenn
+        wir sie haben werden können müssen schön größe straße deutsch
+        seite dienst netzwerk sicherheit anonymität freiheit regierung
+        nachrichten willkommen benutzer konto zugang verschlüsselung
+        datenschutz überwachung zwiebel versteckte dienste
+        """.split(),
+    "ru": """
+        и в не на что это как по но из у за от так же бы для мы вы они
+        есть был быть этот весь свой наш сайт форум сеть анонимность
+        безопасность свобода скрытый сервис правительство новости добро
+        пожаловать пользователь пароль доступ шифрование русский язык
+        информация сообщение обсуждение
+        """.split(),
+    "pt": """
+        que não uma para com mais por mas como foi ele isso seu sua são
+        está você nós eles também já muito quando onde português serviço
+        segurança anonimato liberdade governo notícias bem-vindo usuário
+        senha acesso criptografia informação mensagem fórum comunidade
+        rede oculto serviços endereço
+        """.split(),
+    "es": """
+        que de la el en y a los se del las por un para con no una su al
+        es lo como más pero sus le ya o este sí porque esta cuando muy
+        también hasta español servicio seguridad anonimato libertad
+        gobierno noticias bienvenido usuario contraseña acceso cifrado
+        información mensaje foro comunidad red oculto señor año
+        """.split(),
+    "fr": """
+        le la les de des du et est une un pour avec dans par sur pas ne
+        que qui nous vous ils elle être avoir fait français très où après
+        même aussi comme service sécurité anonymat liberté gouvernement
+        nouvelles bienvenue utilisateur mot passe accès chiffrement
+        information message forum communauté réseau caché château être
+        """.split(),
+    "pl": """
+        nie jest się na do tak jak ale czy już tylko może przez gdzie
+        kiedy wszystko bardzo jeszcze został polski usługa bezpieczeństwo
+        anonimowość wolność rząd wiadomości witamy użytkownik hasło dostęp
+        szyfrowanie informacja wiadomość forum społeczność sieć ukryte
+        usługi łączność źródło żaden więcej
+        """.split(),
+    "ja": """
+        これ それ あれ この その ある いる する なる れる られる こと もの
+        ため よう です ます した から まで など について 日本語 サービス
+        セキュリティ 匿名 自由 政府 ニュース ようこそ ユーザー パスワード
+        アクセス 暗号化 情報 メッセージ フォーラム コミュニティ ネットワーク
+        秘密 隠し 接続 安全
+        """.split(),
+    "it": """
+        che di la il un una per con non sono del alla più come anche ma
+        questo quella essere avere fatto italiano molto quando dove però
+        già servizio sicurezza anonimato libertà governo notizie benvenuto
+        utente password accesso crittografia informazione messaggio forum
+        comunità rete nascosto perché così città
+        """.split(),
+    "cs": """
+        je se na to že by ale jako už jen když kde všechno velmi ještě
+        být mít český služba bezpečnost anonymita svoboda vláda zprávy
+        vítejte uživatel heslo přístup šifrování informace zpráva fórum
+        komunita síť skrytý služby připojení říci žádný člověk může
+        """.split(),
+    "ar": """
+        في من على أن إلى هذا هذه التي الذي كان كانت لكن بعد قبل حيث عند
+        كل ما لا نعم غير بين أو ثم حول خدمة أمن إخفاء الهوية حرية حكومة
+        أخبار مرحبا مستخدم كلمة مرور وصول تشفير معلومات رسالة منتدى
+        مجتمع شبكة مخفي اتصال عربي لغة
+        """.split(),
+    "nl": """
+        het een van en dat niet voor met zijn aan ook als maar wij zij
+        hebben worden kunnen moeten nederlands dienst veiligheid
+        anonimiteit vrijheid overheid nieuws welkom gebruiker wachtwoord
+        toegang versleuteling informatie bericht forum gemeenschap netwerk
+        verborgen diensten verbinding geen meer tegen onder tussen
+        """.split(),
+    "eu": """
+        eta bat da ez du dira izan dute egin behar baina ere hori hau
+        zen oso baino gehiago non noiz euskara zerbitzu segurtasun
+        anonimotasun askatasun gobernu berriak ongi etorri erabiltzaile
+        pasahitza sarbide zifratze informazio mezu foro komunitate sare
+        ezkutuko zerbitzuak konexio hizkuntza gure zure
+        """.split(),
+    "zh": """
+        的 是 在 了 不 和 有 我 他 这 中 大 来 上 国 个 到 说 们 为 子 和
+        你 地 出 道 也 时 年 服务 安全 匿名 自由 政府 新闻 欢迎 用户 密码
+        访问 加密 信息 消息 论坛 社区 网络 隐藏 连接 中文 语言 隐私
+        """.split(),
+    "hu": """
+        a az és hogy nem is egy ez de van volt lesz csak már még mint
+        minden nagyon magyar szolgáltatás biztonság névtelenség szabadság
+        kormány hírek üdvözöljük felhasználó jelszó hozzáférés titkosítás
+        információ üzenet fórum közösség hálózat rejtett szolgáltatások
+        kapcsolat nyelv több között azért
+        """.split(),
+    "bnt": """
+        na ya wa kwa ni za katika hii hiyo kama lakini pia sana sasa bado
+        watu wengi kila baada kabla kiswahili huduma usalama siri uhuru
+        serikali habari karibu mtumiaji nenosiri ufikiaji usimbaji taarifa
+        ujumbe jukwaa jamii mtandao siri huduma muunganisho lugha yetu
+        """.split(),
+    "sv": """
+        och att det som en på är av för med den till inte om har de ett
+        han var men sig från vi så kan när här svenska tjänst säkerhet
+        anonymitet frihet regering nyheter välkommen användare lösenord
+        åtkomst kryptering information meddelande forum gemenskap nätverk
+        dold tjänster anslutning språk våra större
+        """.split(),
+}
+
+LANGUAGES: List[str] = sorted(LANGUAGE_VOCABULARY)
+
+# Display names used in the paper's Section IV prose.
+LANGUAGE_DISPLAY_NAMES: Dict[str, str] = {
+    "en": "English",
+    "de": "German",
+    "ru": "Russian",
+    "pt": "Portuguese",
+    "es": "Spanish",
+    "fr": "French",
+    "pl": "Polish",
+    "ja": "Japanese",
+    "it": "Italian",
+    "cs": "Czech",
+    "ar": "Arabic",
+    "nl": "Dutch",
+    "eu": "Basque",
+    "zh": "Chinese",
+    "hu": "Hungarian",
+    "bnt": "Bantu",
+    "sv": "Swedish",
+}
+
+# The non-English languages, in the order the paper lists them.
+NON_ENGLISH_LANGUAGES: List[str] = [
+    "de", "ru", "pt", "es", "fr", "pl", "ja", "it", "cs", "ar", "nl",
+    "eu", "zh", "hu", "bnt", "sv",
+]
+
+# The fixed text of the Torhost.onion free-hosting default page (805 of the
+# English destinations in the paper showed this page).
+TORHOST_DEFAULT_PAGE: str = (
+    "Welcome to your new TorHost site! This page is the default placeholder "
+    "served by the torhostg5s7pa2sn free anonymous hosting service. Your "
+    "account is active but no content has been uploaded yet. Log in to the "
+    "hosting panel to upload your files, manage your onion domain and view "
+    "quota statistics. TorHost provides free anonymous hosting for static "
+    "pages inside the Tor network. Questions and abuse reports go to the "
+    "hosting forum."
+)
+
+# The stand-in onion hostname of the hosting service (the real 2013 one was
+# torhostg5s7pa2sn.onion; addresses cannot be forged offline, so the
+# generator derives a fresh onion for it and keeps this label for reports).
+TORHOST_LABEL = "Tor Host"
+
+def words_for_topic(topic: str) -> List[str]:
+    """Vocabulary of ``topic``; raises KeyError for unknown topics."""
+    return TOPIC_VOCABULARY[topic]
+
+
+def words_for_language(language: str) -> List[str]:
+    """Vocabulary of ``language``; raises KeyError for unknown languages."""
+    return LANGUAGE_VOCABULARY[language]

@@ -1,0 +1,141 @@
+"""Application-layer behaviour of hidden-service hosts.
+
+The scanner sees ports; the crawler speaks HTTP.  This module provides the
+HTTP(S) applications the population attaches to endpoints:
+
+* :class:`StaticSite` — an ordinary page (topic/language content, TorHost
+  default pages, short pages, embedded error pages).
+* :class:`GoldnetApp` — the probable-botnet signature from Section V: port
+  80 only, ``503 Server Error`` on every page *except* a reachable Apache
+  ``/server-status`` whose uptime, traffic (~330 kB/s) and request rate
+  (~10 req/s, almost all POST) expose that several onion addresses front
+  the same physical machine.
+* :class:`TlsCertificate` — certificate metadata for HTTPS endpoints; the
+  Section III analysis counts self-signed CN mismatches, the 1,168 TorHost
+  certificates, and the 34 certificates whose public DNS common names
+  deanonymise their operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.clock import Timestamp
+
+
+@dataclass
+class HttpResponse:
+    """A minimal HTTP response."""
+
+    status: int
+    body: str = ""
+    content_type: str = "text/html"
+    server: str = "Apache/2.2.22 (Debian)"
+
+    @property
+    def ok(self) -> bool:
+        """2xx?"""
+        return 200 <= self.status < 300
+
+
+@dataclass(frozen=True)
+class TlsCertificate:
+    """The certificate fields the Section III analysis inspects."""
+
+    common_name: str
+    self_signed: bool
+    issuer: str = ""
+
+    def matches_host(self, onion: str) -> bool:
+        """Whether the CN matches the requested onion host name."""
+        return self.common_name == onion
+
+    @property
+    def names_public_dns(self) -> bool:
+        """CN is a clearnet DNS name (deanonymises the operator)."""
+        return (
+            not self.common_name.endswith(".onion")
+            and "." in self.common_name
+        )
+
+
+@dataclass
+class StaticSite:
+    """A static page served on every path."""
+
+    html: str
+    title: str = ""
+    certificate: Optional[TlsCertificate] = None
+
+    def handle_request(self, path: str, now: Timestamp) -> HttpResponse:
+        """Serve the page regardless of ``path``."""
+        return HttpResponse(status=200, body=self.html)
+
+
+@dataclass
+class PhysicalServer:
+    """A machine that may sit behind several onion addresses.
+
+    The paper grouped the Goldnet front addresses into two physical servers
+    by their *identical Apache uptimes* on the server-status pages.
+    """
+
+    server_id: int
+    booted_at: Timestamp
+    traffic_bytes_per_sec: int = 330_000
+    requests_per_sec: float = 10.0
+
+    def uptime(self, now: Timestamp) -> int:
+        """Seconds since boot — equal across all fronts of this machine."""
+        return max(0, int(now) - self.booted_at)
+
+
+@dataclass
+class GoldnetApp:
+    """The Goldnet C&C front: 503 everywhere, server-status exposed."""
+
+    server: PhysicalServer
+    certificate: Optional[TlsCertificate] = None
+    post_fraction: float = 0.98
+
+    def handle_request(self, path: str, now: Timestamp) -> HttpResponse:
+        """503 on all paths except the forgotten ``/server-status``."""
+        if path.rstrip("/").endswith("server-status"):
+            return HttpResponse(status=200, body=self._status_page(now))
+        return HttpResponse(
+            status=503,
+            body="<html><body><h1>503 Service Unavailable</h1></body></html>",
+        )
+
+    def _status_page(self, now: Timestamp) -> str:
+        uptime = self.server.uptime(now)
+        total_accesses = int(self.server.requests_per_sec * uptime)
+        total_kbytes = self.server.traffic_bytes_per_sec * uptime // 1024
+        post_percent = round(self.post_fraction * 100, 1)
+        return (
+            "<html><head><title>Apache Status</title></head><body>"
+            "<h1>Apache Server Status</h1>"
+            f"<dl><dt>Server uptime: {uptime} seconds</dt>"
+            f"<dt>Total accesses: {total_accesses} - Total Traffic: "
+            f"{total_kbytes} kB</dt>"
+            f"<dt>{self.server.requests_per_sec:.3g} requests/sec - "
+            f"{self.server.traffic_bytes_per_sec / 1024:.4g} kB/second</dt>"
+            f"<dt>Method breakdown: POST {post_percent}% GET "
+            f"{round(100 - post_percent, 1)}%</dt>"
+            f"<dt>ServerID: srv{self.server.server_id}</dt></dl>"
+            "</body></html>"
+        )
+
+
+@dataclass
+class SkynetPortBehavior:
+    """Marker application attached to Skynet's port 55080 endpoints.
+
+    The endpoint itself is configured with ``abnormal_error=True``; this
+    object only exists so forensic code can recognise the planted ground
+    truth in tests.  The malware "immediately closes any connection to this
+    port unless it has been set up as a connection forwarder".
+    """
+
+    bot_id: int = 0

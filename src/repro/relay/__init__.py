@@ -1,0 +1,6 @@
+"""Tor relay model: identity, flags, uptime and reachability accounting."""
+
+from repro.relay.flags import RelayFlags
+from repro.relay.relay import Relay, KeyChange
+
+__all__ = ["RelayFlags", "Relay", "KeyChange"]

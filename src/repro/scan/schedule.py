@@ -1,0 +1,68 @@
+"""Scan scheduling.
+
+The paper scanned "different port ranges on different days" between 14 and
+21 February 2013.  :class:`ScanSchedule` splits the port space into per-day
+chunks; a hidden service that happens to be offline on the day its chunk
+containing port *p* is scanned loses that port from the results — the source
+of the 87% coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import AttackError
+from repro.sim.clock import DAY, Timestamp
+
+
+@dataclass(frozen=True)
+class ScanSchedule:
+    """Port ranges assigned to consecutive scan days."""
+
+    start: Timestamp
+    days: int
+    first_port: int = 1
+    last_port: int = 65535
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise AttackError(f"need at least one scan day: {self.days}")
+        if not 0 < self.first_port <= self.last_port <= 65535:
+            raise AttackError(
+                f"bad port range: {self.first_port}..{self.last_port}"
+            )
+
+    @property
+    def end(self) -> Timestamp:
+        """First instant after the scan window."""
+        return self.start + self.days * DAY
+
+    def chunk_for_day(self, day_index: int) -> range:
+        """The port range scanned on day ``day_index`` (0-based)."""
+        if not 0 <= day_index < self.days:
+            raise AttackError(f"day index out of range: {day_index}")
+        total = self.last_port - self.first_port + 1
+        per_day = total // self.days
+        extra = total % self.days
+        lo = self.first_port + day_index * per_day + min(day_index, extra)
+        size = per_day + (1 if day_index < extra else 0)
+        return range(lo, lo + size)
+
+    def day_of_port(self, port: int) -> int:
+        """Which day a port is scanned on."""
+        for day_index in range(self.days):
+            if port in self.chunk_for_day(day_index):
+                return day_index
+        raise AttackError(f"port outside schedule: {port}")
+
+    def __iter__(self) -> Iterator[Tuple[int, Timestamp, range]]:
+        """Yields (day_index, scan_time, port_range) triples."""
+        for day_index in range(self.days):
+            # Scans run mid-day; the exact hour is immaterial.
+            when = self.start + day_index * DAY + 12 * 3600
+            yield day_index, when, self.chunk_for_day(day_index)
+
+    def all_ports(self) -> List[range]:
+        """Every per-day chunk (they partition the full range)."""
+        return [self.chunk_for_day(d) for d in range(self.days)]

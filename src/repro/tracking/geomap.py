@@ -1,0 +1,61 @@
+"""Geographic aggregation of deanonymised clients (Fig 3).
+
+The paper renders a world map of the clients of one Goldnet hidden
+service.  Offline, the equivalent deliverable is the country-level
+distribution those map dots encode; :meth:`ClientGeoMap.format_map` prints
+it as a text histogram.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.net.geoip import GeoIP
+
+
+@dataclass
+class ClientGeoMap:
+    """Country distribution of a set of client IPs."""
+
+    geoip: GeoIP
+    counts: Counter = field(default_factory=Counter)
+
+    def add_ips(self, ips: Iterable[int]) -> None:
+        """Resolve and accumulate client addresses."""
+        for ip in ips:
+            self.counts[self.geoip.lookup(ip)] += 1
+
+    @property
+    def total_clients(self) -> int:
+        """All resolved clients."""
+        return sum(self.counts.values())
+
+    @property
+    def country_count(self) -> int:
+        """Number of distinct countries observed."""
+        return len(self.counts)
+
+    def distribution(self) -> List[Tuple[str, int]]:
+        """(country, clients) rows, most affected first."""
+        return self.counts.most_common()
+
+    def shares(self) -> Dict[str, float]:
+        """country -> fraction of all captured clients."""
+        total = self.total_clients
+        if not total:
+            return {}
+        return {country: count / total for country, count in self.counts.items()}
+
+    def format_map(self, width: int = 50, limit: int = 20) -> str:
+        """Text histogram standing in for the paper's world map."""
+        rows = self.distribution()[:limit]
+        if not rows:
+            return "(no clients captured)"
+        peak = rows[0][1]
+        lines = []
+        for country, count in rows:
+            bar = "█" * max(1, round(width * count / peak))
+            lines.append(f"{country:>3} {count:>6} {bar}")
+        return "\n".join(lines)

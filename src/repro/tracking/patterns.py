@@ -1,0 +1,158 @@
+"""Visit-pattern analysis of deanonymised clients (Section VI).
+
+The paper's sharpest application of client deanonymisation: "Suppose that
+we can categorize users on Silk Road into buyers and sellers.  Buyers visit
+Silk Road occasionally while sellers visit it periodically to update their
+product pages and check on orders.  Thus, a seller tends to have a specific
+pattern which allows his identification."
+
+Given the attack's capture stream — (client IP, time) observations — this
+module reconstructs per-IP visit patterns and separates periodic heavy
+users (sellers) from occasional ones (buyers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import AttackError
+from repro.sim.clock import DAY, Timestamp
+from repro.tracking.deanon import CapturedClient
+
+
+@dataclass
+class VisitPattern:
+    """Observed visiting behaviour of one client IP."""
+
+    client_ip: int
+    visit_times: List[Timestamp]
+
+    @property
+    def visits(self) -> int:
+        """Total captured visits."""
+        return len(self.visit_times)
+
+    def active_days(self) -> int:
+        """Distinct days with at least one captured visit."""
+        return len({t // DAY for t in self.visit_times})
+
+    def visits_per_active_day(self) -> float:
+        """Mean captured visits per day the client was seen."""
+        days = self.active_days()
+        return self.visits / days if days else 0.0
+
+    def regularity(self) -> float:
+        """Inter-arrival regularity in [0, 1]; 1 = clockwork.
+
+        1 − CV of the inter-visit gaps, clamped at 0.  Sellers checking
+        orders on a routine produce regular gaps; buyers produce a couple
+        of arbitrary timestamps.
+        """
+        if self.visits < 3:
+            return 0.0
+        times = sorted(self.visit_times)
+        gaps = [b - a for a, b in zip(times, times[1:]) if b > a]
+        if not gaps:
+            return 0.0
+        mean = sum(gaps) / len(gaps)
+        if mean == 0:
+            return 0.0
+        variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(variance) / mean
+        return max(0.0, 1.0 - cv)
+
+
+@dataclass(frozen=True)
+class SellerCriteria:
+    """Thresholds separating sellers from buyers.
+
+    The defaults encode the paper's qualitative description: sellers show
+    up across several distinct days with repeated visits.  The regularity
+    gate defaults to off: the attacker sees a *thinned* sample of each
+    client's visits (one per fetch that rode an attacker guard), and
+    thinning a periodic process geometrically inflates gap variance, so
+    regularity only separates classes when the capture rate is high.
+    """
+
+    min_active_days: int = 3
+    min_visits: int = 4
+    min_regularity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_active_days < 1 or self.min_visits < 1:
+            raise AttackError("criteria thresholds must be positive")
+        if not 0 <= self.min_regularity <= 1:
+            raise AttackError(
+                f"regularity threshold out of range: {self.min_regularity}"
+            )
+
+
+def patterns_from_captures(
+    captures: Iterable[CapturedClient],
+) -> Dict[int, VisitPattern]:
+    """Group a capture stream into per-IP visit patterns."""
+    visits: Dict[int, List[Timestamp]] = {}
+    for capture in captures:
+        visits.setdefault(capture.client_ip, []).append(capture.time)
+    return {
+        ip: VisitPattern(client_ip=ip, visit_times=sorted(times))
+        for ip, times in visits.items()
+    }
+
+
+def classify_visitors(
+    patterns: Dict[int, VisitPattern],
+    criteria: SellerCriteria = SellerCriteria(),
+) -> Tuple[List[int], List[int]]:
+    """Split captured IPs into (sellers, buyers) per the criteria."""
+    sellers: List[int] = []
+    buyers: List[int] = []
+    for ip, pattern in patterns.items():
+        if (
+            pattern.active_days() >= criteria.min_active_days
+            and pattern.visits >= criteria.min_visits
+            and pattern.regularity() >= criteria.min_regularity
+        ):
+            sellers.append(ip)
+        else:
+            buyers.append(ip)
+    return sorted(sellers), sorted(buyers)
+
+
+@dataclass
+class SellerIdentification:
+    """Scored outcome against ground truth (experiment harness output)."""
+
+    identified_sellers: List[int]
+    identified_buyers: List[int]
+    true_sellers: frozenset
+    observation_days: int
+
+    @property
+    def true_positives(self) -> int:
+        """Correctly identified sellers."""
+        return sum(1 for ip in self.identified_sellers if ip in self.true_sellers)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of flagged IPs that really are sellers."""
+        flagged = len(self.identified_sellers)
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def captured_seller_recall(self) -> float:
+        """Fraction of *captured* sellers correctly flagged.
+
+        (The attack can only classify clients it captured at all; missing
+        the rest is the guard-share economics, not the classifier.)
+        """
+        captured_sellers = sum(
+            1
+            for ip in self.identified_sellers + self.identified_buyers
+            if ip in self.true_sellers
+        )
+        if not captured_sellers:
+            return 0.0
+        return self.true_positives / captured_sellers

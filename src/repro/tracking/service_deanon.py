@@ -1,0 +1,121 @@
+"""Deanonymisation of hidden-service *operators* (the predecessor attack).
+
+Section II.B recaps the attack from [8] that this paper adapts to clients:
+"the responsible hidden service directory controlled by the attacker sends
+a specific traffic signature to the hidden service immediately after the
+hidden service uploads its descriptor.  This signature is then detected at
+the guard node."
+
+Preconditions mirror the client variant: the attacker must (a) control a
+responsible directory of the target — achievable on demand, since
+descriptor IDs are predictable and fingerprints can be ground next to them
+— and (b) own the service's entry guard, which is a waiting game: guards
+rotate every 30–60 days, so each rotation is a fresh ``attacker guard
+share`` chance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set
+
+from repro.crypto.keys import Fingerprint
+from repro.crypto.onion import OnionAddress
+from repro.sim.clock import Timestamp
+from repro.tornet import PublishTrace, TorNetwork
+from repro.tracking.signature import (
+    SignatureDetector,
+    TrafficSignature,
+    honest_response_cells,
+)
+
+
+@dataclass(frozen=True)
+class CapturedService:
+    """One deanonymised hidden-service observation."""
+
+    time: Timestamp
+    onion: OnionAddress
+    operator_ip: int
+    guard_fingerprint: Fingerprint
+
+
+class ServiceDeanonAttack:
+    """Watches the publish path for the target service(s).
+
+    Attach with :meth:`attach`; every descriptor upload produces a
+    :class:`~repro.tornet.PublishTrace`:
+
+    * upload lands at our directory for a watched onion → signature sent
+      back down the publish circuit;
+    * …and the service's guard is ours → the guard recognises the burst
+      pattern and reads the operator's IP.
+    """
+
+    def __init__(
+        self,
+        hsdir_relay_ids: Set[int],
+        guard_fingerprints: FrozenSet[Fingerprint],
+        target_onions: Optional[Set[OnionAddress]] = None,
+        signature: Optional[TrafficSignature] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.hsdir_relay_ids = set(hsdir_relay_ids)
+        self.guard_fingerprints = frozenset(guard_fingerprints)
+        self.target_onions = target_onions
+        self.signature = signature if signature is not None else TrafficSignature()
+        self._detector = SignatureDetector(self.signature)
+        self._rng = rng if rng is not None else random.Random(0)
+        self.captures: List[CapturedService] = []
+        self.signatures_injected = 0
+        self.target_publishes_seen = 0
+        self.false_positives = 0
+
+    def attach(self, network: TorNetwork) -> None:
+        """Start observing the network's publish path."""
+        network.add_publish_observer(self._observe)
+
+    def _is_target(self, onion: OnionAddress) -> bool:
+        if self.target_onions is None:
+            return True
+        return onion in self.target_onions
+
+    def _observe(self, trace: PublishTrace) -> None:
+        at_our_hsdir = trace.hsdir_relay_id in self.hsdir_relay_ids
+        guard_is_ours = (
+            trace.guard_fingerprint is not None
+            and trace.guard_fingerprint in self.guard_fingerprints
+        )
+        if at_our_hsdir and self._is_target(trace.onion):
+            self.target_publishes_seen += 1
+            bursts = self.signature.encode(payload_cells=2)
+            self.signatures_injected += 1
+        else:
+            bursts = honest_response_cells(self._rng, payload_cells=2)
+        if not guard_is_ours:
+            return
+        if self._detector.matches(bursts):
+            if at_our_hsdir and self._is_target(trace.onion):
+                self.captures.append(
+                    CapturedService(
+                        time=trace.time,
+                        onion=trace.onion,
+                        operator_ip=trace.operator_ip,
+                        guard_fingerprint=trace.guard_fingerprint,
+                    )
+                )
+            else:
+                self.false_positives += 1
+
+    @property
+    def deanonymized_services(self) -> Set[OnionAddress]:
+        """Onions whose operator IP has been revealed."""
+        return {capture.onion for capture in self.captures}
+
+    def ip_of(self, onion: OnionAddress) -> Optional[int]:
+        """The recovered operator address for ``onion``, if captured."""
+        for capture in self.captures:
+            if capture.onion == onion:
+                return capture.operator_ip
+        return None

@@ -1,0 +1,76 @@
+"""The traffic signature.
+
+The attack from [8], adapted to clients: a malicious responsible HSDir
+answers a descriptor fetch with the descriptor *encapsulated in a specific
+traffic signature* — a cell pattern distinctive enough that an attacker
+relay elsewhere on the circuit recognises it.  Here the signature is a
+sequence of cell bursts; honest directory responses produce small, smooth
+cell counts, so a burst pattern like (1, 50, 1, 50) essentially never
+occurs naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import AttackError
+
+# The burst pattern appended after the payload cells.  Values are cell
+# counts sent back-to-back with pauses between bursts.
+DEFAULT_PATTERN: Tuple[int, ...] = (1, 50, 1, 50)
+
+
+@dataclass(frozen=True)
+class TrafficSignature:
+    """A recognisable cell-burst pattern."""
+
+    pattern: Tuple[int, ...] = DEFAULT_PATTERN
+
+    def __post_init__(self) -> None:
+        if len(self.pattern) < 2:
+            raise AttackError("signature pattern too short to be distinctive")
+        if any(count < 1 for count in self.pattern):
+            raise AttackError("cell counts must be positive")
+
+    def encode(self, payload_cells: int) -> List[int]:
+        """Cell-burst sequence for a response of ``payload_cells`` cells."""
+        if payload_cells < 1:
+            raise AttackError(f"payload must be at least one cell: {payload_cells}")
+        return [payload_cells, *self.pattern]
+
+
+def honest_response_cells(rng: random.Random, payload_cells: int = 3) -> List[int]:
+    """What a normal descriptor response looks like on the wire: a handful
+    of cells, maybe split across one or two bursts."""
+    if rng.random() < 0.3:
+        split = rng.randint(1, max(1, payload_cells))
+        return [split, max(1, payload_cells - split)]
+    return [payload_cells]
+
+
+class SignatureDetector:
+    """Matches observed cell-burst sequences against a signature.
+
+    A match requires the signature pattern as a suffix of the burst
+    sequence.  Tolerance admits off-by-``jitter`` cell counts (cells merge
+    and split in flight).
+    """
+
+    def __init__(self, signature: TrafficSignature, jitter: int = 2) -> None:
+        if jitter < 0:
+            raise AttackError(f"negative jitter: {jitter}")
+        self.signature = signature
+        self.jitter = jitter
+
+    def matches(self, bursts: Sequence[int]) -> bool:
+        """Whether ``bursts`` ends with the signature pattern."""
+        pattern = self.signature.pattern
+        if len(bursts) < len(pattern):
+            return False
+        tail = list(bursts[-len(pattern):])
+        return all(
+            abs(observed - expected) <= self.jitter
+            for observed, expected in zip(tail, pattern)
+        )

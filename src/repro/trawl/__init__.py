@@ -1,0 +1,28 @@
+"""The shadow-relay harvesting attack (Section II).
+
+Runs many relays on few IP addresses, lets them all accrue the 25-hour
+HSDir uptime while only two per IP sit in the consensus, then progressively
+knocks active relays out so shadow relays rotate in and sweep the HSDir
+ring — collecting hidden-service descriptors (onion addresses) and client
+request statistics.
+"""
+
+from repro.trawl.attack import TrawlAttack, TrawlConfig
+from repro.trawl.harvest import HarvestResult, RingHistory
+from repro.trawl.shadowing import ShadowFleet
+from repro.trawl.coverage import (
+    naive_ip_requirement,
+    expected_capture_probability,
+    CoverageTracker,
+)
+
+__all__ = [
+    "TrawlAttack",
+    "TrawlConfig",
+    "HarvestResult",
+    "RingHistory",
+    "ShadowFleet",
+    "naive_ip_requirement",
+    "expected_capture_probability",
+    "CoverageTracker",
+]

@@ -1,0 +1,84 @@
+"""Shared fixtures.
+
+Heavy artifacts (trained classifiers, generated worlds, pipeline runs) are
+session-scoped: they are deterministic, so sharing them across tests changes
+nothing but the wall-clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify import build_language_detector, build_topic_classifier
+from repro.experiments.pipeline import MeasurementPipeline
+from repro.population import generate_population
+from repro.sim.clock import DAY, SimClock, parse_date
+from repro.sim.rng import derive_rng
+from repro.crypto.keys import KeyPair
+from repro.net.address import AddressPool
+from repro.relay.relay import Relay
+from repro.tornet import TorNetwork
+
+TEST_SCALE = 0.04
+
+
+@pytest.fixture(scope="session")
+def small_population():
+    """A ~1,600-onion world calibrated like the paper's, at 4% scale."""
+    return generate_population(seed=11, scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_pipeline(small_population):
+    """Scan+crawl+classify pipeline over the small world (lazy stages)."""
+    return MeasurementPipeline(seed=11, population=small_population)
+
+
+@pytest.fixture(scope="session")
+def language_detector():
+    """The shipped language model (trained once per session)."""
+    return build_language_detector()
+
+
+@pytest.fixture(scope="session")
+def topic_classifier():
+    """The shipped topic model (trained once per session)."""
+    return build_topic_classifier()
+
+
+def make_network(
+    seed: int,
+    relay_count: int = 150,
+    start=parse_date("2013-01-01"),
+    keep_archive: bool = False,
+):
+    """A fresh honest network with ``relay_count`` seasoned relays."""
+    rng = derive_rng(seed, "test-net")
+    pool = AddressPool(derive_rng(seed, "test-ips"))
+    network = TorNetwork(clock=SimClock(start), keep_archive=keep_archive)
+    for index in range(relay_count):
+        network.add_relay(
+            Relay(
+                nickname=f"relay{index:04d}",
+                ip=pool.allocate(),
+                or_port=9001,
+                keypair=KeyPair.generate(rng),
+                bandwidth=rng.randint(100, 5000),
+                started_at=start - rng.randint(5, 400) * DAY,
+            )
+        )
+    network.rebuild_consensus(start)
+    return network, pool
+
+
+@pytest.fixture()
+def network():
+    """A fresh 150-relay network (function scope: tests mutate it)."""
+    net, _pool = make_network(seed=21)
+    return net
+
+
+@pytest.fixture()
+def network_and_pool():
+    """Network plus its address pool (for tests that add relays)."""
+    return make_network(seed=22)

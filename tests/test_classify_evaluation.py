@@ -1,0 +1,147 @@
+"""Tests for repro.classify.evaluation."""
+
+import pytest
+
+from repro.classify.evaluation import (
+    EvaluationResult,
+    evaluate,
+    held_out_language_samples,
+    held_out_topic_samples,
+)
+from repro.errors import ClassificationError
+
+
+class TestEvaluationResult:
+    def make(self):
+        result = EvaluationResult()
+        result.record("a", "a")
+        result.record("a", "a")
+        result.record("a", "b")
+        result.record("b", "b")
+        return result
+
+    def test_accuracy(self):
+        assert self.make().accuracy == pytest.approx(0.75)
+
+    def test_recall(self):
+        result = self.make()
+        assert result.recall("a") == pytest.approx(2 / 3)
+        assert result.recall("b") == 1.0
+
+    def test_precision(self):
+        result = self.make()
+        assert result.precision("a") == 1.0
+        assert result.precision("b") == pytest.approx(0.5)
+
+    def test_unseen_label_scores_zero(self):
+        result = self.make()
+        assert result.recall("zzz") == 0.0
+        assert result.precision("zzz") == 0.0
+
+    def test_worst_confusions(self):
+        assert self.make().worst_confusions() == [("a", "b", 1)]
+
+    def test_labels_sorted_union(self):
+        assert self.make().labels() == ["a", "b"]
+
+    def test_format_summary(self):
+        summary = self.make().format_summary()
+        assert "75.0%" in summary
+        assert "a -> b" in summary
+
+    def test_empty_accuracy(self):
+        assert EvaluationResult().accuracy == 0.0
+
+
+class TestEvaluate:
+    def test_scores_callable(self):
+        result = evaluate(lambda text: text.strip(), [(" x", "x"), (" y", "z")])
+        assert result.total == 2
+        assert result.correct == 1
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ClassificationError):
+            evaluate(lambda text: text, [])
+
+
+class TestShippedModels:
+    def test_language_detector_scores_high(self, language_detector):
+        samples = held_out_language_samples(per_language=4)
+        result = evaluate(language_detector.detect, samples)
+        assert result.accuracy >= 0.95
+        # Every language individually recalled.
+        for language in {label for _, label in samples}:
+            assert result.recall(language) >= 0.75
+
+    def test_topic_classifier_scores_high(self, topic_classifier):
+        samples = held_out_topic_samples(per_topic=4)
+        result = evaluate(topic_classifier.classify, samples)
+        assert result.accuracy >= 0.9
+
+    def test_held_out_sets_cover_all_classes(self):
+        from repro.population.corpus import LANGUAGES, TOPICS
+
+        languages = {label for _, label in held_out_language_samples(per_language=1)}
+        topics = {label for _, label in held_out_topic_samples(per_topic=1)}
+        assert languages == set(LANGUAGES)
+        assert topics == set(TOPICS)
+
+
+class TestDescriptorUploadValidation:
+    """Validation added alongside: directories can reject forged uploads."""
+
+    def test_honest_upload_accepted(self, network):
+        import random
+
+        from repro.crypto.keys import KeyPair
+        from repro.hs.service import HiddenService
+        from repro.hsdir.directory import HSDirServer
+
+        service = HiddenService(
+            keypair=KeyPair.generate(random.Random(9)), online_from=0
+        )
+        descriptor = service.current_descriptors(network.clock.now)[0]
+        server = HSDirServer(relay_id=1)
+        server.store(descriptor.to_stored(), network.clock.now, validate=True)
+        assert server.publishes_received == 1
+
+    def test_forged_id_rejected(self, network):
+        import random
+
+        from repro.crypto.keys import KeyPair
+        from repro.errors import DescriptorError
+        from repro.hs.service import HiddenService
+        from repro.hsdir.directory import HSDirServer, StoredDescriptor
+
+        service = HiddenService(
+            keypair=KeyPair.generate(random.Random(9)), online_from=0
+        )
+        descriptor = service.current_descriptors(network.clock.now)[0]
+        forged = StoredDescriptor(
+            descriptor_id=b"\x42" * 20,  # not derived from the key
+            public_der=descriptor.public_der,
+            replica=descriptor.replica,
+            published_at=descriptor.published_at,
+        )
+        server = HSDirServer(relay_id=1)
+        with pytest.raises(DescriptorError):
+            server.store(forged, network.clock.now, validate=True)
+
+    def test_stale_period_grace(self, network):
+        """An upload racing the rotation boundary (previous period's ID)
+        is still accepted within the one-period grace."""
+        import random
+
+        from repro.crypto.keys import KeyPair
+        from repro.hs.service import HiddenService
+        from repro.hsdir.directory import HSDirServer
+        from repro.sim.clock import DAY
+
+        service = HiddenService(
+            keypair=KeyPair.generate(random.Random(9)), online_from=0
+        )
+        now = network.clock.now
+        stale = service.current_descriptors(now)[0]
+        server = HSDirServer(relay_id=1)
+        server.store(stale.to_stored(), now + DAY, validate=True)
+        assert server.publishes_received == 1

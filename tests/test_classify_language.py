@@ -1,0 +1,49 @@
+"""Tests for repro.classify.language — the Langdetect stand-in."""
+
+import pytest
+
+from repro.errors import ClassificationError
+from repro.population.content import synth_language_page
+from repro.population.corpus import LANGUAGES
+from repro.sim.rng import derive_rng
+
+
+class TestLanguageDetector:
+    def test_knows_all_17_languages(self, language_detector):
+        assert sorted(language_detector.languages) == sorted(LANGUAGES)
+
+    def test_accuracy_on_held_out_pages(self, language_detector):
+        rng = derive_rng(77, "eval")
+        correct = total = 0
+        for language in LANGUAGES:
+            for _ in range(5):
+                text = synth_language_page(language, rng, word_count=100)
+                correct += language_detector.detect(text) == language
+                total += 1
+        assert correct / total >= 0.95
+
+    def test_short_text_still_classified(self, language_detector):
+        assert language_detector.detect("привет мир анонимность") == "ru"
+
+    def test_empty_text_rejected(self, language_detector):
+        with pytest.raises(ClassificationError):
+            language_detector.detect("   ")
+
+    def test_confidence_output(self, language_detector):
+        rng = derive_rng(78, "eval")
+        text = synth_language_page("de", rng, word_count=120)
+        language, confidence = language_detector.detect_with_confidence(text)
+        assert language == "de"
+        assert confidence > 0.5
+
+    def test_mixed_page_goes_to_majority_language(self, language_detector):
+        rng = derive_rng(79, "eval")
+        mostly_french = synth_language_page(
+            "fr", rng, word_count=150, native_fraction=0.9
+        )
+        assert language_detector.detect(mostly_french) == "fr"
+
+    def test_scripts_are_decisive(self, language_detector):
+        assert language_detector.detect("匿名 网络 服务 安全 隐藏") == "zh"
+        assert language_detector.detect("サービス 匿名 ネットワーク ようこそ") == "ja"
+        assert language_detector.detect("خدمة أمن شبكة مخفي حرية") == "ar"

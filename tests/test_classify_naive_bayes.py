@@ -1,0 +1,97 @@
+"""Tests for repro.classify.naive_bayes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.classify.naive_bayes import MultinomialNaiveBayes
+from repro.errors import ClassificationError
+
+
+def fitted_model():
+    docs = [
+        ["cat", "cat", "meow"],
+        ["cat", "purr"],
+        ["dog", "woof", "dog"],
+        ["dog", "bark"],
+    ]
+    labels = ["cat", "cat", "dog", "dog"]
+    return MultinomialNaiveBayes().fit(docs, labels)
+
+
+class TestFit:
+    def test_classes_sorted(self):
+        assert fitted_model().classes == ["cat", "dog"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ClassificationError):
+            MultinomialNaiveBayes().fit([["a"]], ["x", "y"])
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ClassificationError):
+            MultinomialNaiveBayes().fit([], [])
+
+    def test_tokenless_corpus_rejected(self):
+        with pytest.raises(ClassificationError):
+            MultinomialNaiveBayes().fit([[], []], ["a", "b"])
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ClassificationError):
+            MultinomialNaiveBayes(smoothing=0)
+
+    def test_vocabulary_size(self):
+        assert fitted_model().vocabulary_size == 6
+
+
+class TestPredict:
+    def test_obvious_cases(self):
+        model = fitted_model()
+        assert model.predict(["meow", "purr"]) == "cat"
+        assert model.predict(["woof", "bark"]) == "dog"
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ClassificationError):
+            MultinomialNaiveBayes().predict(["x"])
+
+    def test_oov_tokens_ignored(self):
+        model = fitted_model()
+        assert model.predict(["meow", "zebra", "quux"]) == "cat"
+
+    def test_all_oov_falls_back_to_prior(self):
+        model = fitted_model()
+        # Equal priors → deterministic alphabetical tie-break.
+        assert model.predict(["zebra"]) == "cat"
+
+    def test_confidence_is_probability(self):
+        label, confidence = fitted_model().predict_with_confidence(["meow"])
+        assert label == "cat"
+        assert 0.5 < confidence <= 1.0
+
+    def test_log_scores_finite(self):
+        scores = fitted_model().log_scores(["cat", "dog"])
+        assert all(math.isfinite(v) for v in scores.values())
+
+
+class TestProperties:
+    @settings(max_examples=40)
+    @given(st.permutations(["cat", "meow", "purr", "purr", "meow"]))
+    def test_prediction_invariant_to_token_order(self, tokens):
+        model = fitted_model()
+        assert model.predict(tokens) == model.predict(sorted(tokens))
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.sampled_from(["cat", "dog", "meow", "woof"]), min_size=1, max_size=10)
+    )
+    def test_scores_are_consistent_with_prediction(self, tokens):
+        model = fitted_model()
+        scores = model.log_scores(tokens)
+        predicted = model.predict(tokens)
+        assert scores[predicted] == max(scores.values())
+
+    def test_duplicating_evidence_strengthens_confidence(self):
+        model = fitted_model()
+        _, weak = model.predict_with_confidence(["meow"])
+        _, strong = model.predict_with_confidence(["meow"] * 5)
+        assert strong >= weak

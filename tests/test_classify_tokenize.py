@@ -1,0 +1,59 @@
+"""Tests for repro.classify.tokenize."""
+
+from hypothesis import given, strategies as st
+
+from repro.classify.tokenize import char_ngrams, word_tokens
+
+
+class TestWordTokens:
+    def test_lowercases(self):
+        assert word_tokens("Hello WORLD") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert word_tokens("drugs, weapons; market!") == ["drugs", "weapons", "market"]
+
+    def test_keeps_inner_apostrophes_and_hyphens(self):
+        assert word_tokens("don't open-source") == ["don't", "open-source"]
+
+    def test_strips_edge_quotes(self):
+        assert word_tokens("'quoted'") == ["quoted"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+
+    def test_numbers_kept(self):
+        assert word_tokens("error 404") == ["error", "404"]
+
+    @given(st.text(max_size=200))
+    def test_never_produces_empty_tokens(self, text):
+        assert all(token for token in word_tokens(text))
+
+
+class TestCharNgrams:
+    def test_word_boundary_padding(self):
+        assert char_ngrams("ab", orders=(2,)) == ["_a", "ab", "b_"]
+
+    def test_multiple_orders(self):
+        grams = char_ngrams("ab", orders=(1, 2))
+        assert "a" in grams and "_a" in grams
+
+    def test_no_pure_padding_grams(self):
+        grams = char_ngrams("a b", orders=(1, 2, 3))
+        assert "_" not in grams
+        assert "__" not in grams
+
+    def test_unicode_preserved(self):
+        grams = char_ngrams("даркнет", orders=(1,))
+        assert "д" in grams
+
+    def test_short_word_with_long_order(self):
+        # word shorter than order-2 padding still yields padded grams
+        assert char_ngrams("a", orders=(3,)) == ["_a_"]
+
+    def test_empty(self):
+        assert char_ngrams("") == []
+
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=60))
+    def test_orders_respected(self, text):
+        for gram in char_ngrams(text, orders=(2,)):
+            assert len(gram) == 2

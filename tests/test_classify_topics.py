@@ -1,0 +1,57 @@
+"""Tests for repro.classify.topics — the Mallet/uClassify stand-in."""
+
+import pytest
+
+from repro.classify.topics import is_torhost_default
+from repro.errors import ClassificationError
+from repro.population.content import synth_topic_page
+from repro.population.corpus import TOPICS, TORHOST_DEFAULT_PAGE
+from repro.sim.rng import derive_rng
+
+
+class TestTopicClassifier:
+    def test_knows_all_18_topics(self, topic_classifier):
+        assert sorted(topic_classifier.topics) == sorted(TOPICS)
+
+    def test_accuracy_on_held_out_pages(self, topic_classifier):
+        rng = derive_rng(88, "eval")
+        correct = total = 0
+        for topic in TOPICS:
+            for _ in range(5):
+                text = synth_topic_page(topic, rng, word_count=150)
+                correct += topic_classifier.classify(text) == topic
+                total += 1
+        assert correct / total >= 0.9
+
+    def test_robust_to_cross_topic_noise(self, topic_classifier):
+        rng = derive_rng(89, "eval")
+        noisy = synth_topic_page(
+            "drugs", rng, word_count=200, topical_fraction=0.4, noise_fraction=0.25
+        )
+        assert topic_classifier.classify(noisy) == "drugs"
+
+    def test_empty_rejected(self, topic_classifier):
+        with pytest.raises(ClassificationError):
+            topic_classifier.classify("")
+
+    def test_confidence(self, topic_classifier):
+        rng = derive_rng(90, "eval")
+        text = synth_topic_page("weapon", rng, word_count=150)
+        topic, confidence = topic_classifier.classify_with_confidence(text)
+        assert topic == "weapon"
+        assert confidence > 0.5
+
+
+class TestTorhostDefaultDetection:
+    def test_exact_page_detected(self):
+        assert is_torhost_default(TORHOST_DEFAULT_PAGE)
+
+    def test_whitespace_invariant(self):
+        mangled = "  " + TORHOST_DEFAULT_PAGE.replace(" ", "   ") + " "
+        assert is_torhost_default(mangled)
+
+    def test_ordinary_page_not_default(self):
+        assert not is_torhost_default("a chess club on the onion network " * 3)
+
+    def test_mention_alone_not_enough(self):
+        assert not is_torhost_default("I migrated away from torhost last year")

@@ -1,0 +1,61 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_json, report_from_dict
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("fig1", "table1", "fig2", "table2", "fig3", "sec6", "sec7",
+                        "harvest", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_common_options(self):
+        args = build_parser().parse_args(["fig1", "--seed", "9", "--scale", "0.2"])
+        assert args.seed == 9
+        assert args.scale == 0.2
+
+    def test_table2_options(self):
+        args = build_parser().parse_args(
+            ["table2", "--sweep-hours", "4", "--thinning", "0.5", "--top", "10"]
+        )
+        assert args.sweep_hours == 4
+        assert args.thinning == 0.5
+        assert args.top == 10
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestExecution:
+    def test_fig1_runs_and_archives(self, tmp_path, capsys):
+        json_path = tmp_path / "fig1.json"
+        code = main(["fig1", "--scale", "0.02", "--json", str(json_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig1-open-ports" in out
+        assert "55080-Skynet" in out
+        report = report_from_dict(load_json(json_path))
+        assert report.experiment == "fig1-open-ports"
+
+    def test_harvest_runs(self, capsys):
+        code = main(
+            ["harvest", "--scale", "0.01", "--ips", "6", "--relays-per-ip", "8"]
+        )
+        assert code == 0
+        assert "harvest-shadow-relays" in capsys.readouterr().out
+
+    def test_fig3_runs(self, capsys):
+        code = main(["fig3", "--relays", "200", "--clients", "300", "--days", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig3-client-geomap" in out

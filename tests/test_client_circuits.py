@@ -1,0 +1,96 @@
+"""Tests for repro.client.circuits."""
+
+import pytest
+
+from repro.client.circuits import Circuit, CircuitBuilder
+from repro.client.guards import GuardSet
+from repro.errors import SimulationError
+from repro.relay.flags import RelayFlags
+from repro.sim.rng import derive_rng
+
+
+def make_builder(network, seed=1):
+    guards = GuardSet(derive_rng(seed, "g"))
+    guards.refresh(network.consensus, network.clock.now)
+    return CircuitBuilder(guards, derive_rng(seed, "b")), guards
+
+
+class TestCircuit:
+    def test_guard_and_last_hop(self):
+        circuit = Circuit(hops=(b"\x01" * 20, b"\x02" * 20, b"\x03" * 20))
+        assert circuit.guard == b"\x01" * 20
+        assert circuit.last_hop == b"\x03" * 20
+        assert len(circuit) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            Circuit(hops=())
+
+    def test_relay_reuse_rejected(self):
+        with pytest.raises(SimulationError):
+            Circuit(hops=(b"\x01" * 20, b"\x01" * 20))
+
+
+class TestCircuitBuilder:
+    def test_three_hops_by_default(self, network):
+        builder, _ = make_builder(network)
+        circuit = builder.build(network.consensus)
+        assert len(circuit) == 3
+
+    def test_first_hop_is_pinned_guard(self, network):
+        builder, guards = make_builder(network)
+        for _ in range(10):
+            circuit = builder.build(network.consensus)
+            assert circuit.guard in guards.fingerprints
+
+    def test_no_repeated_relays(self, network):
+        builder, _ = make_builder(network)
+        for _ in range(20):
+            circuit = builder.build(network.consensus)
+            assert len(set(circuit.hops)) == len(circuit.hops)
+
+    def test_final_hop_pinned(self, network):
+        builder, guards = make_builder(network)
+        target = next(
+            entry.fingerprint
+            for entry in network.consensus.entries
+            if entry.fingerprint not in guards.fingerprints
+        )
+        circuit = builder.build(network.consensus, final_hop=target)
+        assert circuit.last_hop == target
+        assert len(circuit) == 3
+
+    def test_exclusions_respected(self, network):
+        builder, _ = make_builder(network)
+        taboo = network.consensus.entries[0].fingerprint
+        for _ in range(15):
+            circuit = builder.build(network.consensus, exclude=[taboo])
+            assert taboo not in circuit.hops
+
+    def test_middle_hops_prefer_fast_relays(self, network):
+        builder, guards = make_builder(network)
+        fast = {
+            entry.fingerprint
+            for entry in network.consensus.with_flag(RelayFlags.FAST)
+        }
+        hits = 0
+        for _ in range(30):
+            circuit = builder.build(network.consensus)
+            hits += circuit.hops[1] in fast
+        assert hits >= 25  # overwhelmingly Fast
+
+    def test_empty_guard_set_rejected(self, network):
+        builder = CircuitBuilder(GuardSet(derive_rng(9, "g")), derive_rng(9, "b"))
+        with pytest.raises(SimulationError):
+            builder.build(network.consensus)
+
+    def test_zero_length_rejected(self, network):
+        builder, _ = make_builder(network)
+        with pytest.raises(SimulationError):
+            builder.build(network.consensus, length=0)
+
+    def test_counter(self, network):
+        builder, _ = make_builder(network)
+        builder.build(network.consensus)
+        builder.build(network.consensus)
+        assert builder.circuits_built == 2

@@ -1,0 +1,78 @@
+"""Tests for repro.client.client."""
+
+import random
+
+from repro.client.client import TorClient
+from repro.crypto.keys import KeyPair
+from repro.hs.service import HiddenService
+from repro.sim.clock import DAY
+from repro.sim.rng import derive_rng
+
+
+def make_service(seed=31):
+    return HiddenService(keypair=KeyPair.generate(random.Random(seed)), online_from=0)
+
+
+def make_client(seed=1, skew=0):
+    return TorClient(ip=0x08080808, rng=derive_rng(seed, "c"), clock_skew=skew)
+
+
+class TestFetch:
+    def test_fetch_published_service(self, network):
+        service = make_service()
+        network.publish_service(service)
+        client = make_client()
+        client.refresh_guards(network)
+        stored = client.fetch_onion(network, service.onion)
+        assert stored is not None
+        assert client.fetches_succeeded == 1
+
+    def test_fetch_without_guards_still_works(self, network):
+        service = make_service()
+        network.publish_service(service)
+        client = make_client()
+        assert client.fetch_onion(network, service.onion) is not None
+
+    def test_skewed_client_misses(self, network):
+        """A client whose clock is a day off derives tomorrow's descriptor
+        ID — the fetch fails even though the service is up (Section V's
+        'wrong time settings of Tor clients')."""
+        service = make_service()
+        network.publish_service(service)
+        skewed = make_client(seed=2, skew=DAY)
+        assert skewed.fetch_onion(network, service.onion) is None
+        assert skewed.fetches_succeeded == 0
+        assert skewed.fetches_attempted == 1
+
+    def test_skewed_requests_still_logged(self, network):
+        service = make_service()
+        network.publish_service(service)
+        traces = []
+        network.add_fetch_observer(traces.append)
+        make_client(seed=3, skew=DAY).fetch_onion(network, service.onion)
+        assert traces  # phantom requests land in directory logs
+        assert all(not trace.found for trace in traces)
+
+    def test_guard_fingerprint_attached_to_trace(self, network):
+        service = make_service()
+        network.publish_service(service)
+        client = make_client(seed=4)
+        client.refresh_guards(network)
+        traces = []
+        network.add_fetch_observer(traces.append)
+        client.fetch_onion(network, service.onion)
+        assert traces[0].guard_fingerprint in client.guards.fingerprints
+
+    def test_local_time(self):
+        assert make_client(skew=-60).local_time(1000) == 940
+
+    def test_fetch_raw_descriptor_id(self, network):
+        service = make_service()
+        network.publish_service(service)
+        desc_id = service.current_descriptors(network.clock.now)[0].descriptor_id
+        client = make_client(seed=5)
+        assert client.fetch_descriptor_id(network, desc_id) is not None
+
+    def test_fetch_raw_phantom_id(self, network):
+        client = make_client(seed=6)
+        assert client.fetch_descriptor_id(network, b"\x77" * 20) is None

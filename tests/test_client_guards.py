@@ -1,0 +1,96 @@
+"""Tests for repro.client.guards."""
+
+import pytest
+
+from repro.client.guards import (
+    GUARD_LIFETIME_MAX,
+    GUARD_LIFETIME_MIN,
+    GUARD_SET_SIZE,
+    GuardSet,
+)
+from repro.errors import SimulationError
+from repro.relay.flags import RelayFlags
+from repro.sim.rng import derive_rng
+
+
+class TestRefresh:
+    def test_fills_to_three(self, network):
+        guards = GuardSet(derive_rng(1, "g"))
+        guards.refresh(network.consensus, network.clock.now)
+        assert len(guards.fingerprints) == GUARD_SET_SIZE
+
+    def test_only_guard_flagged_relays(self, network):
+        guards = GuardSet(derive_rng(1, "g"))
+        guards.refresh(network.consensus, network.clock.now)
+        for fp in guards.fingerprints:
+            assert network.consensus.entry_for(fp).has(RelayFlags.GUARD)
+
+    def test_no_duplicates(self, network):
+        guards = GuardSet(derive_rng(2, "g"))
+        guards.refresh(network.consensus, network.clock.now)
+        assert len(set(guards.fingerprints)) == len(guards.fingerprints)
+
+    def test_stable_across_refreshes(self, network):
+        guards = GuardSet(derive_rng(3, "g"))
+        guards.refresh(network.consensus, network.clock.now)
+        before = list(guards.fingerprints)
+        guards.refresh(network.consensus, network.clock.now + 3600)
+        assert guards.fingerprints == before
+
+    def test_expired_guard_replaced(self, network):
+        guards = GuardSet(derive_rng(4, "g"))
+        now = network.clock.now
+        guards.refresh(network.consensus, now)
+        before = set(guards.fingerprints)
+        guards.refresh(network.consensus, now + GUARD_LIFETIME_MAX + 1)
+        after = set(guards.fingerprints)
+        assert before.isdisjoint(after) or before != after
+        assert len(after) == GUARD_SET_SIZE
+
+    def test_not_expired_within_minimum(self, network):
+        guards = GuardSet(derive_rng(5, "g"))
+        now = network.clock.now
+        guards.refresh(network.consensus, now)
+        before = list(guards.fingerprints)
+        guards.refresh(network.consensus, now + GUARD_LIFETIME_MIN - 1)
+        assert guards.fingerprints == before
+
+    def test_vanished_guard_replaced(self, network):
+        guards = GuardSet(derive_rng(6, "g"))
+        now = network.clock.now
+        guards.refresh(network.consensus, now)
+        victim_fp = guards.fingerprints[0]
+        victim = network.relay_for_fingerprint(victim_fp)
+        victim.set_reachable(False, now)
+        network.clock.advance_by(3600)
+        consensus = network.rebuild_consensus()
+        guards.refresh(consensus, network.clock.now)
+        assert victim_fp not in guards.fingerprints
+        assert len(guards.fingerprints) == GUARD_SET_SIZE
+
+
+class TestPick:
+    def test_pick_from_set(self, network):
+        guards = GuardSet(derive_rng(7, "g"))
+        guards.refresh(network.consensus, network.clock.now)
+        for _ in range(20):
+            assert guards.pick() in guards.fingerprints
+
+    def test_pick_empty_raises(self):
+        with pytest.raises(SimulationError):
+            GuardSet(derive_rng(8, "g")).pick()
+
+    def test_bandwidth_weighting(self, network):
+        """High-bandwidth guards should be selected more often across many
+        independent clients — the property the deanon attack's economics
+        rest on."""
+        entries = network.consensus.with_flag(RelayFlags.GUARD)
+        top = max(entries, key=lambda e: e.bandwidth)
+        bottom = min(entries, key=lambda e: e.bandwidth)
+        top_count = bottom_count = 0
+        for i in range(400):
+            guards = GuardSet(derive_rng(9, "g", str(i)))
+            guards.refresh(network.consensus, network.clock.now)
+            top_count += top.fingerprint in guards.fingerprints
+            bottom_count += bottom.fingerprint in guards.fingerprints
+        assert top_count > bottom_count

@@ -1,0 +1,121 @@
+"""Tests for repro.client.workload."""
+
+import random
+
+import pytest
+
+from repro.client.workload import (
+    PopularityWorkload,
+    WorkloadSpec,
+    zipf_weights,
+)
+from repro.crypto.keys import KeyPair
+from repro.crypto.onion import onion_address_from_key
+from repro.hs.service import HiddenService
+from repro.sim.clock import HOUR
+from repro.sim.rng import derive_rng
+
+
+class TestZipfWeights:
+    def test_first_rank_heaviest(self):
+        weights = zipf_weights(10)
+        assert weights[0] == max(weights)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, exponent=1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        assert len(set(zipf_weights(5, exponent=0.0))) == 1
+
+    def test_rank_offset_continues_curve(self):
+        head = zipf_weights(40, exponent=1.0)
+        tail = zipf_weights(10, exponent=1.0, rank_offset=40)
+        assert tail[0] == pytest.approx(head[-1] * 40 / 41)
+
+
+def make_spec(network, publish=2, ghosts=2, start=None):
+    services = []
+    rng = random.Random(17)
+    for _ in range(publish):
+        service = HiddenService(keypair=KeyPair.generate(rng), online_from=0)
+        network.publish_service(service)
+        services.append(service)
+    start = network.clock.now if start is None else start
+    return WorkloadSpec(
+        window_start=start,
+        window_end=start + 2 * HOUR,
+        named_rates={services[0].onion: 30} if services else {},
+        tail_onions=[s.onion for s in services[1:]],
+        tail_total=10,
+        ghost_onions=[
+            onion_address_from_key(rng.randbytes(140)) for _ in range(ghosts)
+        ],
+        ghost_total=20,
+        client_count=10,
+    )
+
+
+class TestWorkloadSpec:
+    def test_planned_fetches(self, network):
+        spec = make_spec(network)
+        assert spec.planned_fetches == 30 + 10 + 20
+
+
+class TestWorkloadRun:
+    def test_exact_fetch_counts(self, network):
+        spec = make_spec(network)
+        workload = PopularityWorkload(spec, derive_rng(1, "w"))
+        report = workload.run(network)
+        assert report.fetches_issued == spec.planned_fetches
+        assert report.named_fetches == 30
+        assert report.tail_fetches == 10
+        assert report.ghost_fetches == 20
+
+    def test_named_fetches_succeed_ghosts_fail(self, network):
+        spec = make_spec(network)
+        spec.skew_fraction = 0.0
+        workload = PopularityWorkload(spec, derive_rng(2, "w"))
+        report = workload.run(network)
+        assert report.fetches_succeeded == 30 + 10
+
+    def test_requests_land_in_directory_logs(self, network):
+        spec = make_spec(network)
+        PopularityWorkload(spec, derive_rng(3, "w")).run(network)
+        total = sum(
+            server.total_requests for server in network._hsdir_servers.values()
+        )
+        # Ghost fetches probe all 3 responsible dirs, so logged > issued.
+        assert total >= spec.planned_fetches
+
+    def test_ghost_ids_are_stable(self, network):
+        """Phantom traffic replays *fixed* stale descriptor IDs (the stale
+        search-engine model), so unique-ID counts stay bounded."""
+        spec = make_spec(network, publish=0, ghosts=1)
+        spec.named_rates = {}
+        spec.tail_onions, spec.tail_total = [], 0
+        PopularityWorkload(spec, derive_rng(4, "w")).run(network)
+        ids = set()
+        for server in network._hsdir_servers.values():
+            ids.update(server.request_counts)
+        assert len(ids) <= 2  # at most both replicas of the stale day
+
+    def test_sliced_plan_preserves_totals(self, network):
+        spec = make_spec(network)
+        workload = PopularityWorkload(spec, derive_rng(5, "w"))
+        planned = workload.plan_slices(4)
+        assert planned.total_requests == spec.planned_fetches
+        report = None
+        from repro.client.workload import WorkloadReport
+
+        report = WorkloadReport()
+        for index in range(4):
+            workload.run_slice(
+                network,
+                planned,
+                index,
+                spec.window_start + index * 1800,
+                spec.window_start + (index + 1) * 1800,
+                report=report,
+            )
+        assert report.fetches_issued == spec.planned_fetches

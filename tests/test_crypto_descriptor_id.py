@@ -1,0 +1,120 @@
+"""Tests for repro.crypto.descriptor_id — the rend-spec-v2 rotation math."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.descriptor_id import (
+    REPLICAS,
+    descriptor_id,
+    descriptor_ids_for_day,
+    descriptor_ids_for_window,
+    time_period_boundaries,
+    time_period_for,
+)
+from repro.crypto.onion import onion_address_from_key
+from repro.errors import CryptoError
+from repro.sim.clock import DAY, parse_date
+
+ONION = onion_address_from_key(b"test-service")
+FEB4 = parse_date("2013-02-04")
+
+onions = st.binary(min_size=1, max_size=64).map(onion_address_from_key)
+times = st.integers(min_value=0, max_value=2**33)
+
+
+class TestTimePeriod:
+    def test_increments_once_per_day(self):
+        pid = b"\x00" + b"\x00" * 9
+        assert time_period_for(DAY, pid) == time_period_for(0, pid) + 1
+
+    def test_offset_staggers_services(self):
+        # Byte 0 = 128 shifts the rotation boundary by half a day.
+        early = b"\x00" * 10
+        late = b"\x80" + b"\x00" * 9
+        assert time_period_for(DAY // 2, late) == time_period_for(DAY // 2, early) + 1
+
+    def test_empty_permanent_id_rejected(self):
+        with pytest.raises(CryptoError):
+            time_period_for(0, b"")
+
+    @given(times, st.binary(min_size=10, max_size=10))
+    def test_boundaries_contain_now(self, now, pid):
+        start, end = time_period_boundaries(now, pid)
+        assert start <= now < end
+        assert end - start == DAY
+
+    @given(times, st.binary(min_size=10, max_size=10))
+    def test_boundary_is_rotation_point(self, now, pid):
+        start, end = time_period_boundaries(now, pid)
+        assert time_period_for(start, pid) == time_period_for(now, pid)
+        assert time_period_for(end, pid) == time_period_for(now, pid) + 1
+
+
+class TestDescriptorId:
+    def test_twenty_bytes(self):
+        assert len(descriptor_id(ONION, FEB4, 0)) == 20
+
+    def test_replicas_differ(self):
+        assert descriptor_id(ONION, FEB4, 0) != descriptor_id(ONION, FEB4, 1)
+
+    def test_stable_within_period(self):
+        pid = bytes.fromhex(
+            descriptor_id(ONION, FEB4, 0).hex()
+        )  # just pin a value
+        start, end = time_period_boundaries(FEB4, b"\x00" * 10)
+        del pid, start, end
+        assert descriptor_id(ONION, FEB4, 0) == descriptor_id(ONION, FEB4 + 3600, 0)
+
+    def test_rotates_across_days(self):
+        assert descriptor_id(ONION, FEB4, 0) != descriptor_id(ONION, FEB4 + DAY, 0)
+
+    def test_bad_replica_rejected(self):
+        with pytest.raises(CryptoError):
+            descriptor_id(ONION, FEB4, 256)
+
+    def test_invalid_onion_rejected(self):
+        with pytest.raises(CryptoError):
+            descriptor_id("nonsense.onion", FEB4, 0)
+
+    def test_cookie_changes_id(self):
+        assert descriptor_id(ONION, FEB4, 0) != descriptor_id(
+            ONION, FEB4, 0, cookie=b"secret"
+        )
+
+    @settings(max_examples=50)
+    @given(onions, times)
+    def test_deterministic(self, onion, now):
+        assert descriptor_id(onion, now, 0) == descriptor_id(onion, now, 0)
+
+    @settings(max_examples=50)
+    @given(onions, times)
+    def test_day_ids_are_both_replicas(self, onion, now):
+        ids = descriptor_ids_for_day(onion, now)
+        assert len(ids) == REPLICAS
+        assert len(set(ids)) == REPLICAS
+
+
+class TestWindowDerivation:
+    def test_window_covers_each_day(self):
+        ids = descriptor_ids_for_window(ONION, FEB4, FEB4 + 3 * DAY)
+        # 4 periods × 2 replicas (window edges may add one period).
+        assert len(ids) in (8, 10)
+        assert len(set(ids)) == len(ids)
+
+    def test_single_instant_window(self):
+        ids = descriptor_ids_for_window(ONION, FEB4, FEB4)
+        assert set(ids) == set(descriptor_ids_for_day(ONION, FEB4))
+
+    def test_backwards_window_rejected(self):
+        with pytest.raises(CryptoError):
+            descriptor_ids_for_window(ONION, FEB4, FEB4 - 1)
+
+    @settings(max_examples=30)
+    @given(onions, times, st.integers(min_value=0, max_value=12))
+    def test_resolution_property(self, onion, start, days):
+        """Any ID the service uses inside the window appears in the derived
+        set — the invariant the Section V resolver relies on."""
+        window_ids = set(descriptor_ids_for_window(onion, start, start + days * DAY))
+        for day in range(days + 1):
+            for current in descriptor_ids_for_day(onion, start + day * DAY):
+                assert current in window_ids

@@ -1,0 +1,104 @@
+"""Tests for repro.crypto.keys."""
+
+import hashlib
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import (
+    KeyPair,
+    fingerprint_hex,
+    fingerprint_int,
+)
+from repro.crypto.ring import RING_SIZE, ring_distance
+from repro.errors import CryptoError
+
+
+class TestKeyPair:
+    def test_fingerprint_is_sha1_of_der(self):
+        keypair = KeyPair(public_der=b"hello")
+        assert keypair.fingerprint == hashlib.sha1(b"hello").digest()
+
+    def test_generate_is_deterministic_per_rng(self):
+        a = KeyPair.generate(random.Random(5))
+        b = KeyPair.generate(random.Random(5))
+        assert a.fingerprint == b.fingerprint
+
+    def test_generate_distinct_keys(self):
+        rng = random.Random(5)
+        assert KeyPair.generate(rng).fingerprint != KeyPair.generate(rng).fingerprint
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            KeyPair(public_der=b"")
+
+    def test_hex_fingerprint_is_uppercase_40_chars(self):
+        keypair = KeyPair.generate(random.Random(0))
+        assert len(keypair.hex_fingerprint) == 40
+        assert keypair.hex_fingerprint == keypair.hex_fingerprint.upper()
+
+    def test_ring_position_matches_int_conversion(self):
+        keypair = KeyPair.generate(random.Random(0))
+        assert keypair.ring_position == int.from_bytes(keypair.fingerprint, "big")
+
+
+class TestFingerprintHelpers:
+    def test_hex_roundtrip(self):
+        fp = hashlib.sha1(b"x").digest()
+        assert bytes.fromhex(fingerprint_hex(fp)) == fp
+
+    def test_int_is_big_endian(self):
+        fp = bytes([1] + [0] * 19)
+        assert fingerprint_int(fp) == 1 << 152
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(CryptoError):
+            fingerprint_hex(b"short")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(CryptoError):
+            fingerprint_int("not-bytes")  # type: ignore[arg-type]
+
+
+class TestTargetedGeneration:
+    def test_grinding_lands_within_distance(self):
+        rng = random.Random(1)
+        target = 12345
+        max_distance = RING_SIZE // 50  # generous window: fast to hit
+        keypair = KeyPair.generate_with_fingerprint_near(rng, target, max_distance)
+        distance = ring_distance(target, keypair.ring_position)
+        assert 0 < distance <= max_distance
+
+    def test_grinding_gives_up_eventually(self):
+        rng = random.Random(1)
+        with pytest.raises(CryptoError):
+            KeyPair.generate_with_fingerprint_near(rng, 0, 1, attempts=10)
+
+    def test_grinding_rejects_bad_distance(self):
+        with pytest.raises(CryptoError):
+            KeyPair.generate_with_fingerprint_near(random.Random(0), 0, 0)
+
+    def test_forged_fingerprint_is_exact(self):
+        fp = hashlib.sha1(b"target").digest()
+        forged = KeyPair.with_forged_fingerprint(fp)
+        assert forged.fingerprint == fp
+
+    def test_forged_fingerprint_wrong_length_rejected(self):
+        with pytest.raises(CryptoError):
+            KeyPair.with_forged_fingerprint(b"short")
+
+    @settings(max_examples=30)
+    @given(
+        target=st.integers(min_value=0, max_value=RING_SIZE - 1),
+        log_distance=st.integers(min_value=1, max_value=150),
+    )
+    def test_forge_near_always_in_window(self, target, log_distance):
+        max_distance = 1 << log_distance
+        keypair = KeyPair.forge_near(random.Random(0), target, max_distance)
+        distance = ring_distance(target, keypair.ring_position)
+        assert 0 < distance <= max_distance
+
+    def test_forge_near_rejects_huge_window(self):
+        with pytest.raises(CryptoError):
+            KeyPair.forge_near(random.Random(0), 0, RING_SIZE)

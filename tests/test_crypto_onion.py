@@ -1,0 +1,90 @@
+"""Tests for repro.crypto.onion."""
+
+import hashlib
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.onion import (
+    ONION_LABEL_LEN,
+    PERMANENT_ID_LEN,
+    is_valid_onion,
+    onion_address_from_key,
+    onion_address_from_permanent_id,
+    permanent_id_from_onion,
+)
+from repro.errors import CryptoError
+
+
+class TestDerivation:
+    def test_address_shape(self):
+        onion = onion_address_from_key(b"some-key")
+        assert onion.endswith(".onion")
+        assert len(onion) == ONION_LABEL_LEN + len(".onion")
+
+    def test_address_is_base32_of_sha1_prefix(self):
+        import base64
+
+        digest = hashlib.sha1(b"some-key").digest()
+        expected = base64.b32encode(digest[:PERMANENT_ID_LEN]).decode().lower()
+        assert onion_address_from_key(b"some-key") == f"{expected}.onion"
+
+    def test_deterministic(self):
+        assert onion_address_from_key(b"k") == onion_address_from_key(b"k")
+
+    def test_different_keys_different_addresses(self):
+        assert onion_address_from_key(b"k1") != onion_address_from_key(b"k2")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            onion_address_from_key(b"")
+
+    def test_permanent_id_wrong_length_rejected(self):
+        with pytest.raises(CryptoError):
+            onion_address_from_permanent_id(b"short")
+
+
+class TestValidation:
+    def test_known_good(self):
+        assert is_valid_onion("silkroadvb5piz3r.onion")
+
+    def test_uppercase_rejected(self):
+        assert not is_valid_onion("SILKROADVB5PIZ3R.onion")
+
+    def test_wrong_length_rejected(self):
+        assert not is_valid_onion("short.onion")
+
+    def test_invalid_base32_chars_rejected(self):
+        # 0, 1, 8, 9 are not in the base32 alphabet.
+        assert not is_valid_onion("silkroadvb5piz30.onion")
+
+    def test_missing_suffix_rejected(self):
+        assert not is_valid_onion("silkroadvb5piz3r")
+
+    def test_non_string_rejected(self):
+        assert not is_valid_onion(12345)  # type: ignore[arg-type]
+
+
+class TestRoundTrip:
+    @given(st.binary(min_size=PERMANENT_ID_LEN, max_size=PERMANENT_ID_LEN))
+    def test_permanent_id_roundtrip(self, permanent_id):
+        onion = onion_address_from_permanent_id(permanent_id)
+        assert permanent_id_from_onion(onion) == permanent_id
+
+    @given(st.binary(min_size=1, max_size=200))
+    def test_key_to_onion_to_id_consistent(self, key):
+        onion = onion_address_from_key(key)
+        assert is_valid_onion(onion)
+        assert permanent_id_from_onion(onion) == hashlib.sha1(key).digest()[:10]
+
+    def test_decode_invalid_raises(self):
+        with pytest.raises(CryptoError):
+            permanent_id_from_onion("not-an-onion")
+
+    def test_harvest_derivation_matches_service(self):
+        """The attack's raison d'être: holding a descriptor's key material
+        is enough to derive its onion address."""
+        rng = random.Random(3)
+        der = rng.randbytes(140)
+        assert onion_address_from_key(der) == onion_address_from_key(der)

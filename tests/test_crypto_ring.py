@@ -1,0 +1,150 @@
+"""Tests for repro.crypto.ring — the HSDir fingerprint ring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.ring import (
+    HSDIRS_PER_REPLICA,
+    RING_SIZE,
+    FingerprintRing,
+    responsible_positions,
+    ring_distance,
+)
+from repro.errors import CryptoError
+
+
+def make_fingerprints(count, seed=0):
+    rng = random.Random(seed)
+    return [KeyPair.generate(rng).fingerprint for _ in range(count)]
+
+
+class TestRingDistance:
+    def test_forward(self):
+        assert ring_distance(1, 5) == 4
+
+    def test_wraps(self):
+        assert ring_distance(RING_SIZE - 1, 1) == 2
+
+    def test_zero(self):
+        assert ring_distance(7, 7) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=RING_SIZE - 1),
+        st.integers(min_value=0, max_value=RING_SIZE - 1),
+    )
+    def test_in_range(self, a, b):
+        assert 0 <= ring_distance(a, b) < RING_SIZE
+
+    @given(
+        st.integers(min_value=0, max_value=RING_SIZE - 1),
+        st.integers(min_value=0, max_value=RING_SIZE - 1),
+    )
+    def test_antisymmetric_sum(self, a, b):
+        if a != b:
+            assert ring_distance(a, b) + ring_distance(b, a) == RING_SIZE
+
+
+class TestResponsiblePositions:
+    def test_takes_the_following_points(self):
+        points = [10, 20, 30, 40]
+        assert responsible_positions(15, points) == [20, 30, 40]
+
+    def test_exact_hit_excluded(self):
+        # rend-spec: the descriptor goes to fingerprints *after* the ID.
+        points = [10, 20, 30, 40]
+        assert responsible_positions(20, points) == [30, 40, 10]
+
+    def test_wraparound(self):
+        points = [10, 20, 30]
+        assert responsible_positions(35, points) == [10, 20, 30]
+
+    def test_empty_ring(self):
+        assert responsible_positions(5, []) == []
+
+    def test_small_ring_truncates(self):
+        assert responsible_positions(0, [5]) == [5]
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=RING_SIZE - 1),
+            min_size=4,
+            max_size=40,
+            unique=True,
+        ),
+        st.integers(min_value=0, max_value=RING_SIZE - 1),
+    )
+    def test_properties(self, points, descriptor_point):
+        points = sorted(points)
+        result = responsible_positions(descriptor_point, points)
+        # Exactly three, all distinct, all members.
+        assert len(result) == HSDIRS_PER_REPLICA
+        assert len(set(result)) == HSDIRS_PER_REPLICA
+        assert all(p in points for p in result)
+        # They are the three *closest* following points.
+        by_distance = sorted(points, key=lambda p: ring_distance(descriptor_point, p))
+        closest_following = [
+            p for p in by_distance if ring_distance(descriptor_point, p) > 0
+        ][:HSDIRS_PER_REPLICA]
+        # On exact hit the point itself sorts at distance 0 and is skipped.
+        assert set(result) == set(closest_following) or descriptor_point in points
+
+
+class TestFingerprintRing:
+    def test_len_and_contains(self):
+        fps = make_fingerprints(10)
+        ring = FingerprintRing(fps)
+        assert len(ring) == 10
+        assert fps[0] in ring
+        assert make_fingerprints(1, seed=99)[0] not in ring
+
+    def test_duplicate_fingerprints_collapse(self):
+        fps = make_fingerprints(5)
+        ring = FingerprintRing(fps + fps)
+        assert len(ring) == 5
+
+    def test_fingerprints_sorted_by_position(self):
+        ring = FingerprintRing(make_fingerprints(20))
+        positions = [int.from_bytes(fp, "big") for fp in ring.fingerprints]
+        assert positions == sorted(positions)
+
+    def test_responsible_for_returns_three(self):
+        ring = FingerprintRing(make_fingerprints(50))
+        desc_id = make_fingerprints(1, seed=7)[0]
+        assert len(ring.responsible_for(desc_id)) == 3
+
+    def test_average_gap_total(self):
+        ring = FingerprintRing(make_fingerprints(64))
+        assert ring.average_gap() == RING_SIZE // 64
+
+    def test_average_gap_empty_ring_raises(self):
+        with pytest.raises(CryptoError):
+            FingerprintRing([]).average_gap()
+
+    def test_positioning_ratio_for_adjacent_fingerprint(self):
+        fps = make_fingerprints(100)
+        ring = FingerprintRing(fps)
+        desc_id = make_fingerprints(1, seed=5)[0]
+        first_responsible = ring.responsible_for(desc_id)[0]
+        ratio = ring.positioning_ratio(desc_id, first_responsible)
+        assert ratio > 0
+
+    def test_positioning_ratio_zero_distance_is_infinite(self):
+        fps = make_fingerprints(10)
+        ring = FingerprintRing(fps)
+        assert ring.positioning_ratio(fps[0], fps[0]) == float("inf")
+
+    def test_ground_key_beats_honest_relays(self):
+        """A forged fingerprint just after the descriptor ID takes the first
+        responsible slot — the Section VII attacker move."""
+        rng = random.Random(4)
+        fps = make_fingerprints(200)
+        desc_id = make_fingerprints(1, seed=8)[0]
+        point = int.from_bytes(desc_id, "big")
+        forged = KeyPair.forge_near(rng, point, RING_SIZE // 200 // 1000)
+        ring = FingerprintRing(fps + [forged.fingerprint])
+        assert ring.responsible_for(desc_id)[0] == forged.fingerprint
+        assert ring.positioning_ratio(desc_id, forged.fingerprint) >= 1000

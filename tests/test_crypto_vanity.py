@@ -1,0 +1,66 @@
+"""Tests for repro.crypto.vanity."""
+
+import pytest
+
+from repro.crypto.onion import onion_address_from_key
+from repro.crypto.vanity import expected_attempts, grind_vanity_onion
+from repro.errors import CryptoError
+from repro.sim.rng import derive_rng
+
+
+class TestExpectedAttempts:
+    def test_single_char(self):
+        assert expected_attempts("s") == 32
+
+    def test_grows_by_32_per_char(self):
+        assert expected_attempts("sil") == 32 * expected_attempts("si")
+
+
+class TestGrinding:
+    def test_prefix_achieved(self):
+        keypair = grind_vanity_onion("si", derive_rng(1, "v"))
+        assert onion_address_from_key(keypair.public_der).startswith("si")
+
+    def test_fingerprint_is_genuine(self):
+        """Vanity keys are real keys: fingerprint = SHA1(der)."""
+        import hashlib
+
+        keypair = grind_vanity_onion("a", derive_rng(2, "v"))
+        assert keypair.fingerprint == hashlib.sha1(keypair.public_der).digest()
+
+    def test_deterministic_per_stream(self):
+        a = grind_vanity_onion("si", derive_rng(3, "v"))
+        b = grind_vanity_onion("si", derive_rng(3, "v"))
+        assert a.fingerprint == b.fingerprint
+
+    def test_attempt_cap_respected(self):
+        with pytest.raises(CryptoError):
+            grind_vanity_onion("zzzz", derive_rng(4, "v"), max_attempts=5)
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(CryptoError):
+            grind_vanity_onion("", derive_rng(5, "v"))
+
+    def test_long_prefix_rejected(self):
+        with pytest.raises(CryptoError):
+            grind_vanity_onion("silkroa", derive_rng(6, "v"))
+
+    def test_invalid_characters_rejected(self):
+        # 0 and 1 are not in the base32 alphabet.
+        with pytest.raises(CryptoError):
+            grind_vanity_onion("s1", derive_rng(7, "v"))
+
+
+class TestPopulationPhishing:
+    def test_phishing_clones_share_the_prefix(self, small_population):
+        clones = small_population.records_in_group("silkroad-phishing")
+        assert len(clones) == small_population.spec.silkroad_phishing_count
+        for record in clones:
+            assert record.onion.startswith("sil")
+            assert record.topic == "counterfeit"
+
+    def test_clones_are_distinct_services(self, small_population):
+        clones = small_population.records_in_group("silkroad-phishing")
+        onions = {record.onion for record in clones}
+        assert len(onions) == len(clones)
+        assert small_population.named_onions["silkroad"] not in onions

@@ -1,0 +1,67 @@
+"""Tests for repro.detection.rules."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.detection.rules import DetectionThresholds, binomial_threshold
+from repro.errors import AttackError
+
+
+class TestBinomialThreshold:
+    def test_known_value(self):
+        # μ = 365 × 6/1200 = 1.825; σ = sqrt(1.8159) ≈ 1.3476
+        threshold = binomial_threshold(365, 6 / 1200)
+        assert threshold == pytest.approx(1.825 + 3 * math.sqrt(365 * 0.005 * 0.995), rel=1e-9)
+
+    def test_zero_periods(self):
+        assert binomial_threshold(0, 0.5) == 0.0
+
+    def test_certain_event_has_no_variance(self):
+        assert binomial_threshold(100, 1.0) == 100.0
+
+    def test_negative_periods_rejected(self):
+        with pytest.raises(AttackError):
+            binomial_threshold(-1, 0.5)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(AttackError):
+            binomial_threshold(10, 1.5)
+
+    @given(
+        st.integers(min_value=1, max_value=2000),
+        st.floats(min_value=0.0001, max_value=0.5),
+    )
+    def test_threshold_above_mean(self, n, p):
+        assert binomial_threshold(n, p) >= n * p
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_monotone_in_sigmas(self, n):
+        assert binomial_threshold(n, 0.01, sigmas=2) <= binomial_threshold(
+            n, 0.01, sigmas=3
+        )
+
+
+class TestDetectionThresholds:
+    def test_defaults_valid(self):
+        thresholds = DetectionThresholds()
+        assert thresholds.ratio_suspicious == 100.0
+        assert thresholds.ratio_extreme == 10_000.0
+        assert thresholds.fresh_fingerprint_periods == 2
+
+    def test_bad_sigmas(self):
+        with pytest.raises(AttackError):
+            DetectionThresholds(frequency_sigmas=0)
+
+    def test_ratio_ordering_enforced(self):
+        with pytest.raises(AttackError):
+            DetectionThresholds(ratio_suspicious=1000, ratio_extreme=100)
+
+    def test_consecutive_minimum(self):
+        with pytest.raises(AttackError):
+            DetectionThresholds(consecutive_min_periods=1)
+
+    def test_fresh_min_events(self):
+        with pytest.raises(AttackError):
+            DetectionThresholds(fresh_fingerprint_min_events=0)

@@ -1,0 +1,106 @@
+"""Tests for repro.dirauth.archive."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.dirauth.archive import ConsensusArchive
+from repro.dirauth.consensus import Consensus, ConsensusEntry
+from repro.errors import ConsensusError
+from repro.relay.flags import RelayFlags
+
+
+def make_consensus(valid_after, seeds=(0,)):
+    entries = []
+    for seed in seeds:
+        keypair = KeyPair.generate(random.Random(seed))
+        entries.append(
+            ConsensusEntry(
+                fingerprint=keypair.fingerprint,
+                nickname=f"r{seed}",
+                ip=seed,
+                or_port=9001,
+                bandwidth=100,
+                flags=RelayFlags.RUNNING,
+            )
+        )
+    entries.sort(key=lambda e: e.fingerprint)
+    return Consensus(valid_after=valid_after, entries=tuple(entries))
+
+
+class TestAppend:
+    def test_append_and_len(self):
+        archive = ConsensusArchive()
+        archive.append(make_consensus(100))
+        archive.append(make_consensus(200))
+        assert len(archive) == 2
+
+    def test_must_be_strictly_newer(self):
+        archive = ConsensusArchive()
+        archive.append(make_consensus(100))
+        with pytest.raises(ConsensusError):
+            archive.append(make_consensus(100))
+        with pytest.raises(ConsensusError):
+            archive.append(make_consensus(50))
+
+    def test_span(self):
+        archive = ConsensusArchive()
+        archive.append(make_consensus(100))
+        archive.append(make_consensus(300))
+        assert archive.span == (100, 300)
+
+    def test_empty_span_raises(self):
+        with pytest.raises(ConsensusError):
+            ConsensusArchive().span
+
+
+class TestLookup:
+    def setup_method(self):
+        self.archive = ConsensusArchive()
+        for t in (100, 200, 300):
+            self.archive.append(make_consensus(t))
+
+    def test_at_exact(self):
+        assert self.archive.at(200).valid_after == 200
+
+    def test_at_between(self):
+        assert self.archive.at(250).valid_after == 200
+
+    def test_at_before_first(self):
+        assert self.archive.at(50) is None
+
+    def test_at_after_last(self):
+        assert self.archive.at(10**9).valid_after == 300
+
+    def test_between(self):
+        window = self.archive.between(150, 300)
+        assert [c.valid_after for c in window] == [200, 300]
+
+    def test_between_empty(self):
+        assert self.archive.between(400, 500) == []
+
+    def test_iteration_in_order(self):
+        assert [c.valid_after for c in self.archive] == [100, 200, 300]
+
+
+class TestFirstSeen:
+    def test_first_appearance_recorded(self):
+        archive = ConsensusArchive()
+        archive.append(make_consensus(100, seeds=(1,)))
+        archive.append(make_consensus(200, seeds=(1, 2)))
+        fp1 = KeyPair.generate(random.Random(1)).fingerprint
+        fp2 = KeyPair.generate(random.Random(2)).fingerprint
+        assert archive.first_seen(fp1) == 100
+        assert archive.first_seen(fp2) == 200
+
+    def test_unknown_fingerprint(self):
+        assert ConsensusArchive().first_seen(b"\x00" * 20) is None
+
+    def test_first_seen_not_updated_on_reappearance(self):
+        archive = ConsensusArchive()
+        archive.append(make_consensus(100, seeds=(1,)))
+        archive.append(make_consensus(200, seeds=()))
+        archive.append(make_consensus(300, seeds=(1,)))
+        fp1 = KeyPair.generate(random.Random(1)).fingerprint
+        assert archive.first_seen(fp1) == 100

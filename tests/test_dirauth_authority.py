@@ -1,0 +1,103 @@
+"""Tests for repro.dirauth.authority — the monitored-relay flaw."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.dirauth.authority import DirectoryAuthoritySet
+from repro.errors import ConsensusError
+from repro.relay.flags import RelayFlags
+from repro.relay.relay import Relay
+from repro.sim.clock import DAY, HOUR
+
+
+def make_relay(ip, bandwidth=500, started_at=0, nickname="r", seed=None):
+    return Relay(
+        nickname=nickname,
+        ip=ip,
+        or_port=9001,
+        keypair=KeyPair.generate(random.Random(seed) if seed is not None else random),
+        bandwidth=bandwidth,
+        started_at=started_at,
+    )
+
+
+class TestRegistration:
+    def test_register_and_count(self):
+        authority = DirectoryAuthoritySet()
+        authority.register(make_relay(1))
+        assert authority.monitored_count == 1
+
+    def test_double_register_rejected(self):
+        authority = DirectoryAuthoritySet()
+        relay = make_relay(1)
+        authority.register(relay)
+        with pytest.raises(ConsensusError):
+            authority.register(relay)
+
+    def test_deregister(self):
+        authority = DirectoryAuthoritySet()
+        relay = make_relay(1)
+        authority.register(relay)
+        authority.deregister(relay)
+        assert authority.monitored_count == 0
+
+    def test_relay_by_fingerprint(self):
+        authority = DirectoryAuthoritySet()
+        relay = make_relay(1)
+        authority.register(relay)
+        assert authority.relay_by_fingerprint(relay.fingerprint) is relay
+        assert authority.relay_by_fingerprint(b"\x00" * 20) is None
+
+
+class TestConsensusBuilding:
+    def test_only_reachable_listed(self):
+        authority = DirectoryAuthoritySet()
+        up = make_relay(1)
+        down = make_relay(2, seed=1)
+        down.set_reachable(False, 0)
+        authority.register_all([up, down])
+        consensus = authority.build_consensus(DAY)
+        assert up.fingerprint in consensus
+        assert down.fingerprint not in consensus
+
+    def test_per_ip_rule_enforced(self):
+        authority = DirectoryAuthoritySet()
+        for i in range(5):
+            authority.register(make_relay(7, bandwidth=100 + i, seed=i))
+        consensus = authority.build_consensus(DAY)
+        assert len(consensus) == 2
+
+    def test_entries_sorted_by_fingerprint(self):
+        authority = DirectoryAuthoritySet()
+        for i in range(10):
+            authority.register(make_relay(i, seed=i))
+        consensus = authority.build_consensus(DAY)
+        fps = [entry.fingerprint for entry in consensus]
+        assert fps == sorted(fps)
+
+    def test_shadow_relays_accrue_uptime_while_unlisted(self):
+        """THE flaw (Section II): relays squeezed out by the per-IP rule are
+        still monitored; when the active pair dies, the shadow enters the
+        consensus with HSDir immediately."""
+        authority = DirectoryAuthoritySet()
+        actives = [make_relay(9, bandwidth=1000 + i, seed=i) for i in range(2)]
+        shadow = make_relay(9, bandwidth=100, seed=99)
+        authority.register_all(actives + [shadow])
+
+        early = authority.build_consensus(26 * HOUR)
+        assert shadow.fingerprint not in early
+
+        for relay in actives:
+            relay.set_reachable(False, 26 * HOUR)
+        late = authority.build_consensus(27 * HOUR)
+        entry = late.entry_for(shadow.fingerprint)
+        assert entry is not None
+        assert entry.has(RelayFlags.HSDIR)  # full 27 h of uptime counted
+
+    def test_consensus_counter(self):
+        authority = DirectoryAuthoritySet()
+        authority.build_consensus(0)
+        authority.build_consensus(HOUR)
+        assert authority.consensuses_built == 2

@@ -1,0 +1,128 @@
+"""Tests for repro.dirauth.consensus — documents and the 2-per-IP rule."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import KeyPair
+from repro.dirauth.consensus import (
+    MAX_RELAYS_PER_IP,
+    Consensus,
+    ConsensusEntry,
+    apply_per_ip_limit,
+)
+from repro.errors import ConsensusError
+from repro.relay.flags import RelayFlags
+
+_rng = random.Random(0)
+
+
+def make_entry(ip=1, bandwidth=100, flags=RelayFlags.RUNNING, nickname="r", seed=None):
+    keypair = KeyPair.generate(_rng if seed is None else random.Random(seed))
+    return ConsensusEntry(
+        fingerprint=keypair.fingerprint,
+        nickname=nickname,
+        ip=ip,
+        or_port=9001,
+        bandwidth=bandwidth,
+        flags=flags,
+    )
+
+
+class TestConsensusEntry:
+    def test_address(self):
+        entry = make_entry(ip=42)
+        assert entry.address == (42, 9001)
+
+    def test_has_flag(self):
+        entry = make_entry(flags=RelayFlags.RUNNING | RelayFlags.HSDIR)
+        assert entry.has(RelayFlags.HSDIR)
+        assert not entry.has(RelayFlags.GUARD)
+
+
+class TestPerIpLimit:
+    def test_keeps_at_most_two_per_ip(self):
+        entries = [make_entry(ip=5, bandwidth=b) for b in (10, 20, 30, 40)]
+        kept = apply_per_ip_limit(entries)
+        assert len(kept) == MAX_RELAYS_PER_IP
+        assert sorted(e.bandwidth for e in kept) == [30, 40]
+
+    def test_different_ips_unaffected(self):
+        entries = [make_entry(ip=i) for i in range(10)]
+        assert len(apply_per_ip_limit(entries)) == 10
+
+    def test_keeps_highest_bandwidth(self):
+        entries = [make_entry(ip=5, bandwidth=b) for b in (100, 1, 50)]
+        kept = apply_per_ip_limit(entries)
+        assert {e.bandwidth for e in kept} == {100, 50}
+
+    def test_preserves_input_order(self):
+        entries = [make_entry(ip=i % 3, bandwidth=100 + i) for i in range(9)]
+        kept = apply_per_ip_limit(entries)
+        indexes = [entries.index(e) for e in kept]
+        assert indexes == sorted(indexes)
+
+    def test_custom_limit(self):
+        entries = [make_entry(ip=5, bandwidth=b) for b in (1, 2, 3)]
+        assert len(apply_per_ip_limit(entries, limit=1)) == 1
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ConsensusError):
+            apply_per_ip_limit([], limit=0)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=5),  # ip
+                st.integers(min_value=1, max_value=1000),  # bandwidth
+            ),
+            max_size=40,
+        )
+    )
+    def test_invariant_never_more_than_two_per_ip(self, spec):
+        entries = [make_entry(ip=ip, bandwidth=bw) for ip, bw in spec]
+        kept = apply_per_ip_limit(entries)
+        per_ip = {}
+        for entry in kept:
+            per_ip[entry.ip] = per_ip.get(entry.ip, 0) + 1
+        assert all(count <= MAX_RELAYS_PER_IP for count in per_ip.values())
+        # And nothing was dropped needlessly: every IP with entries keeps
+        # min(count, 2) of them.
+        want = {}
+        for entry in entries:
+            want[entry.ip] = min(MAX_RELAYS_PER_IP, want.get(entry.ip, 0) + 1)
+        assert {ip: per_ip.get(ip, 0) for ip in want} == want
+
+
+class TestConsensus:
+    def test_lookup_and_iteration(self):
+        entries = tuple(make_entry(ip=i) for i in range(5))
+        consensus = Consensus(valid_after=100, entries=entries)
+        assert len(consensus) == 5
+        assert list(consensus) == list(entries)
+        assert consensus.entry_for(entries[0].fingerprint) == entries[0]
+        assert entries[0].fingerprint in consensus
+
+    def test_duplicate_fingerprint_rejected(self):
+        entry = make_entry(seed=1)
+        with pytest.raises(ConsensusError):
+            Consensus(valid_after=0, entries=(entry, entry))
+
+    def test_with_flag(self):
+        hsdir = make_entry(ip=1, flags=RelayFlags.RUNNING | RelayFlags.HSDIR)
+        plain = make_entry(ip=2, flags=RelayFlags.RUNNING)
+        consensus = Consensus(valid_after=0, entries=(hsdir, plain))
+        assert consensus.with_flag(RelayFlags.HSDIR) == [hsdir]
+
+    def test_hsdir_ring_contains_only_hsdirs(self):
+        hsdir = make_entry(ip=1, flags=RelayFlags.RUNNING | RelayFlags.HSDIR)
+        plain = make_entry(ip=2, flags=RelayFlags.RUNNING)
+        consensus = Consensus(valid_after=0, entries=(hsdir, plain))
+        assert consensus.hsdir_count == 1
+        assert hsdir.fingerprint in consensus.hsdir_ring
+
+    def test_hsdir_ring_cached(self):
+        consensus = Consensus(valid_after=0, entries=(make_entry(),))
+        assert consensus.hsdir_ring is consensus.hsdir_ring

@@ -1,0 +1,106 @@
+"""Tests for repro.dirauth.format — consensus text round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dirauth.format import (
+    archive_from_consensuses,
+    format_archive,
+    format_consensus,
+    parse_archive,
+    parse_consensus,
+)
+from repro.errors import ConsensusError
+from tests.test_dirauth_archive import make_consensus
+
+
+class TestConsensusRoundtrip:
+    def test_roundtrip_preserves_entries(self):
+        consensus = make_consensus(1000, seeds=(1, 2, 3))
+        clone = parse_consensus(format_consensus(consensus))
+        assert clone.valid_after == consensus.valid_after
+        assert len(clone) == len(consensus)
+        for original, parsed in zip(consensus.entries, clone.entries):
+            assert parsed == original
+
+    def test_roundtrip_network_consensus(self, network):
+        """A realistic consensus (150 relays, mixed flags) survives."""
+        consensus = network.consensus
+        clone = parse_consensus(format_consensus(consensus))
+        assert len(clone) == len(consensus)
+        assert clone.hsdir_count == consensus.hsdir_count
+        for entry in consensus.entries:
+            assert clone.entry_for(entry.fingerprint) == entry
+
+    def test_header_checked(self):
+        with pytest.raises(ConsensusError):
+            parse_consensus("bogus\nvalid-after 2013-01-01\ndirectory-footer")
+
+    def test_footer_checked(self):
+        text = format_consensus(make_consensus(0)).replace("directory-footer", "")
+        with pytest.raises(ConsensusError):
+            parse_consensus(text)
+
+    def test_malformed_router_line(self):
+        text = (
+            "network-status-version 3 repro\n"
+            "valid-after 2013-01-01 00:00:00\n"
+            "r broken\n"
+            "s Running\n"
+            "directory-footer\n"
+        )
+        with pytest.raises(ConsensusError):
+            parse_consensus(text)
+
+    def test_unknown_flag_rejected(self):
+        text = format_consensus(make_consensus(5, seeds=(1,)))
+        with pytest.raises(ConsensusError):
+            parse_consensus(text.replace("s Running", "s Wizard"))
+
+    def test_bad_fingerprint_rejected(self):
+        text = format_consensus(make_consensus(5, seeds=(1,)))
+        import re
+
+        broken = re.sub(r"^r (\S+) \S+", r"r \1 NOTHEX", text, count=1, flags=re.M)
+        with pytest.raises(ConsensusError):
+            parse_consensus(broken)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=6, unique=True))
+    def test_roundtrip_property(self, seeds):
+        consensus = make_consensus(777, seeds=tuple(seeds))
+        clone = parse_consensus(format_consensus(consensus))
+        assert clone.entries == consensus.entries
+
+
+class TestArchiveRoundtrip:
+    def test_roundtrip(self):
+        archive = archive_from_consensuses(
+            [make_consensus(t, seeds=(t % 5,)) for t in (100, 200, 300)]
+        )
+        clone = parse_archive(format_archive(archive))
+        assert len(clone) == 3
+        assert clone.span == archive.span
+        assert clone.at(250).valid_after == 200
+
+    def test_first_seen_rebuilt(self):
+        archive = archive_from_consensuses(
+            [make_consensus(100, seeds=(1,)), make_consensus(200, seeds=(1, 2))]
+        )
+        clone = parse_archive(format_archive(archive))
+        import random
+
+        from repro.crypto.keys import KeyPair
+
+        fp2 = KeyPair.generate(random.Random(2)).fingerprint
+        assert clone.first_seen(fp2) == 200
+
+    def test_trailing_garbage_rejected(self):
+        text = format_archive(
+            archive_from_consensuses([make_consensus(100, seeds=(1,))])
+        )
+        with pytest.raises(ConsensusError):
+            parse_archive(text + "\nr leftover line")
+
+    def test_empty_text_gives_empty_archive(self):
+        assert len(parse_archive("")) == 0

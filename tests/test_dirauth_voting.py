@@ -1,0 +1,74 @@
+"""Tests for repro.dirauth.voting — flag assignment policy."""
+
+import random
+
+from repro.crypto.keys import KeyPair
+from repro.dirauth.voting import FlagPolicy
+from repro.relay.flags import RelayFlags
+from repro.relay.relay import Relay
+from repro.sim.clock import DAY, HOUR
+
+
+def make_relay(bandwidth=500, started_at=0, reachable=True, seed=0):
+    return Relay(
+        nickname="r",
+        ip=1,
+        or_port=9001,
+        keypair=KeyPair.generate(random.Random(seed)),
+        bandwidth=bandwidth,
+        started_at=started_at,
+        reachable=reachable,
+    )
+
+
+class TestFlagPolicy:
+    def setup_method(self):
+        self.policy = FlagPolicy()
+
+    def test_unreachable_gets_nothing(self):
+        relay = make_relay(reachable=False)
+        assert self.policy.flags_for(relay, 100 * DAY) == RelayFlags.NONE
+
+    def test_reachable_is_running_and_valid(self):
+        flags = self.policy.flags_for(make_relay(), 1)
+        assert flags & RelayFlags.RUNNING
+        assert flags & RelayFlags.VALID
+
+    def test_hsdir_exactly_at_25_hours(self):
+        """The load-bearing threshold of the whole harvesting attack."""
+        relay = make_relay()
+        before = self.policy.flags_for(relay, 25 * HOUR - 1)
+        after = self.policy.flags_for(relay, 25 * HOUR)
+        assert not before & RelayFlags.HSDIR
+        assert after & RelayFlags.HSDIR
+
+    def test_hsdir_lost_after_restart(self):
+        relay = make_relay()
+        relay.set_reachable(False, 30 * HOUR)
+        relay.set_reachable(True, 31 * HOUR)
+        assert not self.policy.flags_for(relay, 40 * HOUR) & RelayFlags.HSDIR
+
+    def test_fast_needs_bandwidth(self):
+        slow = make_relay(bandwidth=50)
+        fast = make_relay(bandwidth=200)
+        assert not self.policy.flags_for(slow, DAY) & RelayFlags.FAST
+        assert self.policy.flags_for(fast, DAY) & RelayFlags.FAST
+
+    def test_stable_needs_uptime(self):
+        relay = make_relay()
+        assert not self.policy.flags_for(relay, 4 * DAY) & RelayFlags.STABLE
+        assert self.policy.flags_for(relay, 6 * DAY) & RelayFlags.STABLE
+
+    def test_guard_needs_uptime_and_bandwidth(self):
+        seasoned_fast = make_relay(bandwidth=1000)
+        seasoned_slow = make_relay(bandwidth=100)
+        young_fast = make_relay(bandwidth=1000, started_at=7 * DAY)
+        now = 9 * DAY
+        assert self.policy.flags_for(seasoned_fast, now) & RelayFlags.GUARD
+        assert not self.policy.flags_for(seasoned_slow, now) & RelayFlags.GUARD
+        assert not self.policy.flags_for(young_fast, now) & RelayFlags.GUARD
+
+    def test_custom_thresholds(self):
+        policy = FlagPolicy(hsdir_min_uptime=HOUR)
+        relay = make_relay()
+        assert policy.flags_for(relay, 2 * HOUR) & RelayFlags.HSDIR

@@ -1,0 +1,112 @@
+"""Tests for repro.hs.publisher."""
+
+import random
+
+from repro.crypto.keys import KeyPair
+from repro.hs.publisher import PublishScheduler
+from repro.hs.service import HiddenService
+from repro.sim.clock import DAY, HOUR
+from repro.sim.engine import EventEngine
+from repro.sim.rng import derive_rng
+
+
+def make_services(count, online_from=0):
+    rng = random.Random(7)
+    return [
+        HiddenService(keypair=KeyPair.generate(rng), online_from=online_from)
+        for _ in range(count)
+    ]
+
+
+class TestPublishDue:
+    def test_initial_publish_covers_online_services(self, network):
+        services = make_services(5)
+        scheduler = PublishScheduler(network, services)
+        delivered = scheduler.publish_initial(network.clock.now)
+        assert delivered == 5 * 6
+
+    def test_no_republish_before_boundary(self, network):
+        services = make_services(3)
+        scheduler = PublishScheduler(network, services)
+        scheduler.publish_initial(network.clock.now)
+        assert scheduler.publish_due(network.clock.now + HOUR) == 0
+
+    def test_republish_after_boundary(self, network):
+        services = make_services(3)
+        scheduler = PublishScheduler(network, services)
+        scheduler.publish_initial(network.clock.now)
+        network.clock.advance_by(DAY)
+        network.rebuild_consensus()
+        assert scheduler.publish_due(network.clock.now) == 3 * 6
+
+    def test_offline_service_skipped(self, network):
+        service = make_services(1)[0]
+        service.online_until = network.clock.now + HOUR
+        scheduler = PublishScheduler(network, [service])
+        scheduler.publish_initial(network.clock.now)
+        network.clock.advance_by(DAY)
+        network.rebuild_consensus()
+        assert scheduler.publish_due(network.clock.now) == 0
+
+
+class TestMaintain:
+    def test_republish_when_responsible_set_changes(self, network_and_pool):
+        """The behaviour the trawl exploits: a new HSDir in the right ring
+        position pulls a fresh upload."""
+        network, pool = network_and_pool
+        service = make_services(1)[0]
+        scheduler = PublishScheduler(network, [service])
+        scheduler.publish_initial(network.clock.now)
+        scheduler.maintain(network.clock.now)
+
+        # Plant a relay that becomes responsible for the service's replica-0
+        # descriptor (ground key just past the descriptor ID).
+        from repro.crypto.descriptor_id import descriptor_id
+        from repro.crypto.ring import RING_SIZE
+        from repro.relay.relay import Relay
+
+        desc = descriptor_id(service.onion, network.clock.now, 0)
+        key = KeyPair.forge_near(
+            derive_rng(1, "forge"),
+            int.from_bytes(desc, "big"),
+            RING_SIZE // 10**9,
+        )
+        intruder = Relay(
+            nickname="intruder",
+            ip=pool.allocate(),
+            or_port=9001,
+            keypair=key,
+            bandwidth=500,
+            started_at=network.clock.now - 2 * DAY,
+        )
+        network.add_relay(intruder)
+        network.clock.advance_by(HOUR)
+        network.rebuild_consensus()
+        delivered = scheduler.maintain(network.clock.now)
+        assert delivered >= 6  # responsible set changed → republished
+        server = network.hsdir_server_for(intruder)
+        assert server.publishes_received >= 1
+
+    def test_maintain_idempotent_when_nothing_changes(self, network):
+        services = make_services(2)
+        scheduler = PublishScheduler(network, services)
+        scheduler.publish_initial(network.clock.now)
+        scheduler.maintain(network.clock.now)
+        assert scheduler.maintain(network.clock.now) == 0
+
+
+class TestEngineAttachment:
+    def test_events_scheduled_per_period(self, network):
+        services = make_services(2)
+        scheduler = PublishScheduler(network, services)
+        engine = EventEngine(network.clock)
+        scheduled = scheduler.attach_to_engine(engine, network.clock.now + 3 * DAY)
+        assert scheduled == 2 * 3
+
+    def test_engine_driven_republish(self, network):
+        service = make_services(1)[0]
+        scheduler = PublishScheduler(network, [service])
+        engine = EventEngine(network.clock)
+        scheduler.attach_to_engine(engine, network.clock.now + DAY)
+        engine.run_until(network.clock.now + DAY)
+        assert service.publish_count >= 1

@@ -1,0 +1,58 @@
+"""Tests for repro.hs.service."""
+
+import random
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.onion import onion_address_from_key
+from repro.hs.service import HiddenService
+from repro.sim.clock import DAY, parse_date
+
+FEB4 = parse_date("2013-02-04")
+
+
+def make_service(seed=1, **kwargs):
+    return HiddenService(keypair=KeyPair.generate(random.Random(seed)), **kwargs)
+
+
+class TestIdentity:
+    def test_onion_derives_from_key(self):
+        service = make_service()
+        assert service.onion == onion_address_from_key(service.keypair.public_der)
+
+    def test_permanent_id_is_ten_bytes(self):
+        assert len(make_service().permanent_id) == 10
+
+
+class TestLifecycle:
+    def test_online_window(self):
+        service = make_service(online_from=100, online_until=200)
+        assert not service.is_online(99)
+        assert service.is_online(150)
+        assert not service.is_online(200)
+
+    def test_forever_online(self):
+        assert make_service(online_from=0).is_online(10**10)
+
+    def test_next_publish_is_future_period_boundary(self):
+        service = make_service()
+        nxt = service.next_publish_after(FEB4)
+        assert FEB4 < nxt <= FEB4 + DAY
+
+    def test_descriptor_rotation_at_boundary(self):
+        service = make_service()
+        boundary = service.next_publish_after(FEB4)
+        before = service.current_descriptors(boundary - 1)
+        after = service.current_descriptors(boundary)
+        assert {d.descriptor_id for d in before}.isdisjoint(
+            {d.descriptor_id for d in after}
+        )
+
+    def test_descriptors_stable_within_period(self):
+        service = make_service()
+        boundary = service.next_publish_after(FEB4)
+        a = service.current_descriptors(FEB4)
+        b = service.current_descriptors(boundary - 1)
+        assert [d.descriptor_id for d in a] == [d.descriptor_id for d in b]
+
+    def test_publish_count_starts_zero(self):
+        assert make_service().publish_count == 0

@@ -1,0 +1,105 @@
+"""Tests for repro.hsdir.directory."""
+
+import pytest
+
+from repro.errors import DescriptorError
+from repro.hsdir.directory import HSDirServer, StoredDescriptor
+from repro.sim.clock import DAY, HOUR
+
+
+def make_stored(desc_id=b"\x01" * 20, published_at=0, der=b"key"):
+    return StoredDescriptor(
+        descriptor_id=desc_id, public_der=der, replica=0, published_at=published_at
+    )
+
+
+class TestStoreAndFetch:
+    def test_roundtrip(self):
+        server = HSDirServer(relay_id=1)
+        server.store(make_stored(), now=0)
+        assert server.fetch(b"\x01" * 20, now=HOUR) is not None
+
+    def test_missing_descriptor(self):
+        server = HSDirServer(relay_id=1)
+        assert server.fetch(b"\x02" * 20, now=0) is None
+
+    def test_bad_descriptor_id_rejected(self):
+        server = HSDirServer(relay_id=1)
+        with pytest.raises(DescriptorError):
+            server.store(make_stored(desc_id=b"short"), now=0)
+
+    def test_store_replaces(self):
+        server = HSDirServer(relay_id=1)
+        server.store(make_stored(der=b"old"), now=0)
+        server.store(make_stored(der=b"new", published_at=1), now=1)
+        assert server.fetch(b"\x01" * 20, now=2).public_der == b"new"
+
+    def test_publish_counter(self):
+        server = HSDirServer(relay_id=1)
+        server.store(make_stored(), now=0)
+        server.store(make_stored(desc_id=b"\x02" * 20), now=0)
+        assert server.publishes_received == 2
+
+
+class TestExpiry:
+    def test_descriptor_expires_after_retention(self):
+        """HSDirs 'responsible for the previous time period erase its
+        descriptor from the memory' (Section II)."""
+        server = HSDirServer(relay_id=1)
+        server.store(make_stored(published_at=0), now=0)
+        assert server.fetch(b"\x01" * 20, now=DAY - 1) is not None
+        assert server.fetch(b"\x01" * 20, now=DAY + 1) is None
+
+    def test_stored_descriptors_filters_expired(self):
+        server = HSDirServer(relay_id=1)
+        server.store(make_stored(published_at=0), now=0)
+        server.store(
+            make_stored(desc_id=b"\x02" * 20, published_at=DAY), now=DAY
+        )
+        remaining = server.stored_descriptors(now=DAY + HOUR)
+        assert [d.descriptor_id for d in remaining] == [b"\x02" * 20]
+
+
+class TestRequestAccounting:
+    def test_counts_found_and_missing(self):
+        server = HSDirServer(relay_id=1)
+        server.store(make_stored(), now=0)
+        server.fetch(b"\x01" * 20, now=1)
+        server.fetch(b"\x01" * 20, now=2)
+        server.fetch(b"\x09" * 20, now=3)
+        assert server.request_counts[b"\x01" * 20] == [2, 0]
+        assert server.request_counts[b"\x09" * 20] == [0, 1]
+        assert server.total_requests == 3
+
+    def test_unlogged_fetch_not_counted(self):
+        server = HSDirServer(relay_id=1)
+        server.store(make_stored(), now=0)
+        server.fetch(b"\x01" * 20, now=1, log=False)
+        assert server.total_requests == 0
+
+    def test_detailed_log_kept_by_default(self):
+        server = HSDirServer(relay_id=1)
+        server.fetch(b"\x01" * 20, now=5)
+        assert len(server.request_log) == 1
+        record = server.request_log[0]
+        assert record.time == 5
+        assert not record.found
+
+    def test_keep_log_false_skips_detail(self):
+        server = HSDirServer(relay_id=1, keep_log=False)
+        server.fetch(b"\x01" * 20, now=5)
+        assert server.request_log == []
+        assert server.total_requests == 1
+
+    def test_requests_between(self):
+        server = HSDirServer(relay_id=1)
+        for t in (10, 20, 30):
+            server.fetch(b"\x01" * 20, now=t)
+        assert len(server.requests_between(15, 30)) == 1
+
+    def test_clear_log(self):
+        server = HSDirServer(relay_id=1)
+        server.fetch(b"\x01" * 20, now=1)
+        server.clear_log()
+        assert server.total_requests == 0
+        assert server.request_log == []

@@ -1,0 +1,89 @@
+"""Tests for repro.io — artifact (de)serialisation."""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.errors import ReproError
+from repro.io import (
+    distribution_from_dict,
+    distribution_to_dict,
+    load_json,
+    ranking_from_dict,
+    ranking_to_dict,
+    report_from_dict,
+    report_to_dict,
+    save_json,
+)
+from repro.popularity.ranking import PopularityRanking
+from repro.scan.results import PortDistribution
+
+
+def make_report():
+    report = ExperimentReport(experiment="x")
+    report.add("alpha", 100, 103)
+    report.add("beta", None, 7)
+    report.note("a note")
+    return report
+
+
+class TestReportRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        report = make_report()
+        clone = report_from_dict(report_to_dict(report))
+        assert clone.experiment == report.experiment
+        assert [(r.label, r.paper, r.measured) for r in clone.rows] == [
+            (r.label, r.paper, r.measured) for r in report.rows
+        ]
+        assert clone.notes == report.notes
+        assert clone.max_error() == report.max_error()
+
+    def test_kind_mismatch_rejected(self):
+        data = report_to_dict(make_report())
+        data["kind"] = "something-else"
+        with pytest.raises(ReproError):
+            report_from_dict(data)
+
+    def test_schema_mismatch_rejected(self):
+        data = report_to_dict(make_report())
+        data["schema"] = 999
+        with pytest.raises(ReproError):
+            report_from_dict(data)
+
+
+class TestRankingRoundtrip:
+    def test_roundtrip(self):
+        ranking = PopularityRanking.from_counts(
+            {"aa" * 8 + ".onion": 50, "bb" * 8 + ".onion": 99},
+            {"bb" * 8 + ".onion": "Goldnet"},
+        )
+        clone = ranking_from_dict(ranking_to_dict(ranking))
+        assert len(clone) == 2
+        assert clone.rank_of("bb" * 8 + ".onion") == 1
+        assert clone.row_for("bb" * 8 + ".onion").description == "Goldnet"
+
+    def test_limit(self):
+        ranking = PopularityRanking.from_counts(
+            {f"{i:02d}" * 8 + ".onion": 100 - i for i in range(10)}
+        )
+        data = ranking_to_dict(ranking, limit=3)
+        assert len(data["rows"]) == 3
+
+
+class TestDistributionRoundtrip:
+    def test_roundtrip(self):
+        distribution = PortDistribution(
+            counts={"80-http": 5, "other": 2}, unique_ports=4, total_open=7
+        )
+        clone = distribution_from_dict(distribution_to_dict(distribution))
+        assert clone.counts == distribution.counts
+        assert clone.unique_ports == 4
+        assert clone.total_open == 7
+        assert clone.as_rows()[-1] == ("other", 2)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        report = make_report()
+        path = tmp_path / "sub" / "report.json"
+        save_json(report_to_dict(report), path)
+        assert report_from_dict(load_json(path)).experiment == "x"

@@ -1,0 +1,98 @@
+"""Tests for repro.net.endpoint."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.endpoint import (
+    ConnectOutcome,
+    ServiceEndpoint,
+    SimpleHost,
+)
+from repro.sim.clock import DAY
+
+
+class TestConnectOutcome:
+    def test_open_counts_as_open(self):
+        assert ConnectOutcome.OPEN.counts_as_open
+
+    def test_abnormal_counts_as_open(self):
+        # Section III: the Skynet port-55080 error was counted as open.
+        assert ConnectOutcome.ABNORMAL_ERROR.counts_as_open
+
+    @pytest.mark.parametrize(
+        "outcome",
+        [ConnectOutcome.REFUSED, ConnectOutcome.TIMEOUT, ConnectOutcome.UNREACHABLE],
+    )
+    def test_failures_do_not_count(self, outcome):
+        assert not outcome.counts_as_open
+
+
+class TestServiceEndpoint:
+    def test_plain_open(self):
+        endpoint = ServiceEndpoint(port=80, banner="hi")
+        result = endpoint.connect(random.Random(0))
+        assert result.outcome is ConnectOutcome.OPEN
+        assert result.banner == "hi"
+        assert result.ok
+
+    def test_abnormal_error(self):
+        endpoint = ServiceEndpoint(port=55080, abnormal_error=True)
+        result = endpoint.connect(random.Random(0))
+        assert result.outcome is ConnectOutcome.ABNORMAL_ERROR
+        assert not result.ok
+        assert result.error_message
+
+    def test_timeout_probability_one_always_times_out(self):
+        endpoint = ServiceEndpoint(port=80, timeout_probability=1.0)
+        result = endpoint.connect(random.Random(0))
+        assert result.outcome is ConnectOutcome.TIMEOUT
+
+    def test_port_range_validated(self):
+        with pytest.raises(NetworkError):
+            ServiceEndpoint(port=0)
+        with pytest.raises(NetworkError):
+            ServiceEndpoint(port=70000)
+
+    def test_timeout_probability_validated(self):
+        with pytest.raises(NetworkError):
+            ServiceEndpoint(port=80, timeout_probability=1.5)
+
+
+class TestSimpleHost:
+    def test_add_and_lookup_endpoint(self):
+        host = SimpleHost()
+        host.add_endpoint(ServiceEndpoint(port=80))
+        assert host.endpoint_on(80) is not None
+        assert host.endpoint_on(81) is None
+
+    def test_duplicate_port_rejected(self):
+        host = SimpleHost()
+        host.add_endpoint(ServiceEndpoint(port=80))
+        with pytest.raises(NetworkError):
+            host.add_endpoint(ServiceEndpoint(port=80))
+
+    def test_open_ports_sorted(self):
+        host = SimpleHost()
+        for port in (443, 22, 80):
+            host.add_endpoint(ServiceEndpoint(port=port))
+        assert host.open_ports == [22, 80, 443]
+
+    def test_online_window(self):
+        host = SimpleHost(online_from=100, online_until=200)
+        assert not host.is_online(99)
+        assert host.is_online(100)
+        assert host.is_online(199)
+        assert not host.is_online(200)
+
+    def test_open_ended_lifetime(self):
+        host = SimpleHost(online_from=0, online_until=None)
+        assert host.is_online(10**10)
+
+    def test_down_days(self):
+        host = SimpleHost(online_from=0, down_days=frozenset({1}))
+        assert host.is_online(DAY - 1)
+        assert not host.is_online(DAY)  # day 1
+        assert not host.is_online(2 * DAY - 1)
+        assert host.is_online(2 * DAY)

@@ -1,0 +1,67 @@
+"""Tests for repro.net.geoip."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.geoip import COUNTRY_WEIGHTS, GeoIP
+
+
+class TestGeoIP:
+    def setup_method(self):
+        self.geoip = GeoIP(seed=0)
+
+    def test_lookup_inverts_random_ip(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            country = self.geoip.random_country(rng)
+            ip = self.geoip.random_ip(rng, country)
+            assert self.geoip.lookup(ip) == country
+
+    def test_every_country_has_blocks(self):
+        rng = random.Random(2)
+        for country in self.geoip.countries:
+            ip = self.geoip.random_ip(rng, country)
+            assert self.geoip.lookup(ip) == country
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(NetworkError):
+            self.geoip.random_ip(random.Random(0), "XX")
+
+    def test_unassigned_space_maps_to_unknown(self):
+        # 127.* is never assigned.
+        assert self.geoip.lookup(127 << 24) == "??"
+
+    def test_invalid_ip_rejected(self):
+        with pytest.raises(NetworkError):
+            self.geoip.lookup(1 << 32)
+
+    def test_deterministic_per_seed(self):
+        a, b = GeoIP(seed=3), GeoIP(seed=3)
+        for block in range(1, 224):
+            assert a.lookup(block << 24) == b.lookup(block << 24)
+
+    def test_weighting_shapes_country_draws(self):
+        rng = random.Random(4)
+        counts = {}
+        for _ in range(5000):
+            country = self.geoip.random_country(rng)
+            counts[country] = counts.get(country, 0) + 1
+        # US has the largest weight; it must beat a small-weight country.
+        assert counts.get("US", 0) > counts.get("NG", 0)
+
+    def test_custom_weights(self):
+        geoip = GeoIP(seed=0, weights={"AA": 1.0, "BB": 1.0})
+        assert sorted(geoip.countries) == ["AA", "BB"]
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(NetworkError):
+            GeoIP(seed=0, weights={})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(NetworkError):
+            GeoIP(seed=0, weights={"AA": 0.0})
+
+    def test_default_weights_cover_many_countries(self):
+        assert len(COUNTRY_WEIGHTS) >= 30

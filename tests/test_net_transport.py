@@ -1,0 +1,142 @@
+"""Tests for repro.net.transport."""
+
+import random
+
+import pytest
+
+from repro.crypto.onion import onion_address_from_key
+from repro.errors import NetworkError
+from repro.net.endpoint import ConnectOutcome, ServiceEndpoint, SimpleHost
+from repro.net.transport import OnionRegistry, TorTransport
+
+ONION = onion_address_from_key(b"svc")
+OTHER = onion_address_from_key(b"other")
+
+
+def make_host(ports=(80,), online_until=None, abnormal=()):
+    host = SimpleHost(online_from=0, online_until=online_until)
+    for port in ports:
+        host.add_endpoint(
+            ServiceEndpoint(port=port, abnormal_error=port in abnormal, banner=f"b{port}")
+        )
+    return host
+
+
+class TestOnionRegistry:
+    def test_register_and_lookup(self):
+        registry = OnionRegistry()
+        host = make_host()
+        registry.register(ONION, host)
+        assert registry.lookup(ONION) is host
+        assert len(registry) == 1
+        assert ONION in registry
+
+    def test_unknown_lookup(self):
+        assert OnionRegistry().lookup(ONION) is None
+
+    def test_duplicate_rejected(self):
+        registry = OnionRegistry()
+        registry.register(ONION, make_host())
+        with pytest.raises(NetworkError):
+            registry.register(ONION, make_host())
+
+    def test_invalid_onion_rejected(self):
+        with pytest.raises(NetworkError):
+            OnionRegistry().register("bogus.onion", make_host())
+
+
+class TestConnect:
+    def setup_method(self):
+        self.registry = OnionRegistry()
+        self.registry.register(ONION, make_host(ports=(80, 55080), abnormal={55080}))
+        self.transport = TorTransport(self.registry, random.Random(0))
+
+    def test_open_port(self):
+        result = self.transport.connect(ONION, 80, now=0)
+        assert result.outcome is ConnectOutcome.OPEN
+        assert result.banner == "b80"
+
+    def test_closed_port_refused(self):
+        result = self.transport.connect(ONION, 81, now=0)
+        assert result.outcome is ConnectOutcome.REFUSED
+
+    def test_abnormal_error_surfaces(self):
+        result = self.transport.connect(ONION, 55080, now=0)
+        assert result.outcome is ConnectOutcome.ABNORMAL_ERROR
+
+    def test_unknown_onion_unreachable(self):
+        result = self.transport.connect(OTHER, 80, now=0)
+        assert result.outcome is ConnectOutcome.UNREACHABLE
+
+    def test_offline_host_unreachable(self):
+        registry = OnionRegistry()
+        registry.register(ONION, make_host(online_until=100))
+        transport = TorTransport(registry, random.Random(0))
+        assert transport.connect(ONION, 80, now=50).outcome is ConnectOutcome.OPEN
+        assert (
+            transport.connect(ONION, 80, now=150).outcome
+            is ConnectOutcome.UNREACHABLE
+        )
+
+    def test_descriptor_gate(self):
+        transport = TorTransport(
+            self.registry,
+            random.Random(0),
+            descriptor_available=lambda onion, now: False,
+        )
+        assert (
+            transport.connect(ONION, 80, now=0).outcome is ConnectOutcome.UNREACHABLE
+        )
+        assert not transport.has_descriptor(ONION, 0)
+
+    def test_has_descriptor_defaults_true(self):
+        assert self.transport.has_descriptor(ONION, 0)
+
+    def test_circuit_timeouts(self):
+        transport = TorTransport(
+            self.registry, random.Random(0), circuit_timeout_probability=1.0
+        )
+        assert transport.connect(ONION, 80, now=0).outcome is ConnectOutcome.TIMEOUT
+
+    def test_bad_timeout_probability_rejected(self):
+        with pytest.raises(NetworkError):
+            TorTransport(self.registry, random.Random(0), circuit_timeout_probability=2)
+
+    def test_attempt_counter(self):
+        before = self.transport.attempts
+        self.transport.connect(ONION, 80, now=0)
+        assert self.transport.attempts == before + 1
+
+
+class TestScanPorts:
+    def setup_method(self):
+        self.registry = OnionRegistry()
+        self.registry.register(
+            ONION, make_host(ports=(22, 80, 443, 55080), abnormal={55080})
+        )
+        self.transport = TorTransport(self.registry, random.Random(0))
+
+    def test_finds_open_ports_in_range(self):
+        results = self.transport.scan_ports(ONION, range(1, 100), now=0)
+        assert sorted(results) == [22, 80]
+
+    def test_finds_abnormal(self):
+        results = self.transport.scan_ports(ONION, range(55000, 56000), now=0)
+        assert results[55080].outcome is ConnectOutcome.ABNORMAL_ERROR
+
+    def test_port_list_works(self):
+        results = self.transport.scan_ports(ONION, [443, 8080], now=0)
+        assert sorted(results) == [443]
+
+    def test_unreachable_is_empty(self):
+        assert self.transport.scan_ports(OTHER, range(1, 65536), now=0) == {}
+
+    def test_matches_individual_connects(self):
+        """Batch scanning must be observationally equivalent to per-port
+        connects (modulo RNG draws)."""
+        batch = self.transport.scan_ports(ONION, range(1, 65536), now=0)
+        for port in (22, 80, 443, 55080):
+            single = TorTransport(self.registry, random.Random(0)).connect(
+                ONION, port, now=0
+            )
+            assert batch[port].outcome == single.outcome

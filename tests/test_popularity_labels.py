@@ -1,0 +1,74 @@
+"""Tests for repro.popularity.labels — the Goldnet forensic chain."""
+
+from repro.net.transport import TorTransport
+from repro.popularity.labels import ServiceLabeler, investigate_goldnet
+from repro.popularity.ranking import PopularityRanking
+from repro.sim.rng import derive_rng
+
+
+class TestServiceLabeler:
+    def test_known_labels(self):
+        labeler = ServiceLabeler()
+        labeler.add_known("aa" * 8 + ".onion", "Silk Road")
+        labeler.add_known_many({"bb" * 8 + ".onion": "DuckDuckGo"})
+        labels = labeler.labels_for(["aa" * 8 + ".onion", "cc" * 8 + ".onion"])
+        assert labels == {"aa" * 8 + ".onion": "Silk Road"}
+
+
+class TestGoldnetInvestigation:
+    def test_finds_fronts_and_groups_servers(self, small_population):
+        """Build a fake ranking with the goldnet fronts on top and check the
+        503/server-status chain labels them and groups them by machine."""
+        transport = TorTransport(
+            small_population.registry,
+            derive_rng(1, "probe"),
+            descriptor_available=small_population.descriptor_available,
+        )
+        goldnet = small_population.records_in_group("goldnet")
+        http_content = small_population.records_in_group("http-content")
+        counts = {r.onion: 1000 - i for i, r in enumerate(goldnet)}
+        counts.update({r.onion: 10 + i for i, r in enumerate(http_content[:20])})
+        ranking = PopularityRanking.from_counts(counts)
+
+        labels, findings = investigate_goldnet(
+            transport, ranking, when=small_population.harvest_date
+        )
+        assert len(findings) == len(goldnet)
+        assert set(labels.values()) == {"Goldnet"}
+        groups = {finding.server_group for finding in findings}
+        assert len(groups) == len(small_population.spec.goldnet_server_split)
+        # Traffic forensics match the planted ~330 kB/s, ~10 req/s profile.
+        for finding in findings:
+            assert 250 <= finding.kbytes_per_sec <= 400
+            assert 8.0 <= finding.requests_per_sec <= 12.0
+
+    def test_already_labelled_rows_skipped(self, small_population):
+        transport = TorTransport(
+            small_population.registry,
+            derive_rng(2, "probe"),
+            descriptor_available=small_population.descriptor_available,
+        )
+        goldnet = small_population.records_in_group("goldnet")
+        counts = {r.onion: 500 for r in goldnet}
+        ranking = PopularityRanking.from_counts(
+            counts, {r.onion: "KnownThing" for r in goldnet}
+        )
+        labels, findings = investigate_goldnet(
+            transport, ranking, when=small_population.harvest_date
+        )
+        assert not labels
+        assert not findings
+
+    def test_ordinary_sites_not_flagged(self, small_population):
+        transport = TorTransport(
+            small_population.registry,
+            derive_rng(3, "probe"),
+            descriptor_available=small_population.descriptor_available,
+        )
+        sites = small_population.records_in_group("http-content")[:30]
+        ranking = PopularityRanking.from_counts({r.onion: 100 for r in sites})
+        labels, findings = investigate_goldnet(
+            transport, ranking, when=small_population.harvest_date
+        )
+        assert not labels
+        assert not findings

@@ -1,0 +1,116 @@
+"""Tests for repro.popularity.resolver."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.descriptor_id import descriptor_ids_for_day
+from repro.crypto.onion import onion_address_from_key
+from repro.popularity.resolver import DescriptorResolver
+from repro.sim.clock import DAY, parse_date
+
+JAN28 = parse_date("2013-01-28")
+FEB8 = parse_date("2013-02-08")
+
+
+def make_onions(count, seed=0):
+    rng = random.Random(seed)
+    return [onion_address_from_key(rng.randbytes(140)) for _ in range(count)]
+
+
+class TestIndexConstruction:
+    def test_index_size(self):
+        onions = make_onions(10)
+        resolver = DescriptorResolver(onions, JAN28, JAN28 + 2 * DAY)
+        # 10 onions × (3 or 4 periods) × 2 replicas.
+        assert resolver.database_size == 10
+        assert 10 * 6 <= resolver.index_size <= 10 * 8
+
+    def test_lookup_known_id(self):
+        onions = make_onions(3)
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        desc_id = descriptor_ids_for_day(onions[0], JAN28 + 3 * DAY)[1]
+        assert resolver.lookup(desc_id) == onions[0]
+
+    def test_lookup_unknown_id(self):
+        resolver = DescriptorResolver(make_onions(3), JAN28, FEB8)
+        assert resolver.lookup(b"\x55" * 20) is None
+
+
+class TestResolve:
+    def test_splits_resolved_and_phantom(self):
+        onions = make_onions(4)
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        real_id = descriptor_ids_for_day(onions[1], JAN28 + DAY)[0]
+        counts = {real_id: [7, 1], b"\x99" * 20: [0, 12]}
+        result = resolver.resolve(counts)
+        assert result.resolved_ids == 1
+        assert result.unresolved_ids == 1
+        assert result.requests_per_onion[onions[1]] == 8
+        assert result.resolved_requests == 8
+        assert result.unresolved_requests == 12
+        assert result.total_unique_ids == 2
+        assert result.phantom_request_fraction == 0.6
+
+    def test_both_replicas_merge_to_one_onion(self):
+        onions = make_onions(1)
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        ids = descriptor_ids_for_day(onions[0], JAN28)
+        result = resolver.resolve({ids[0]: [3, 0], ids[1]: [4, 0]})
+        assert result.resolved_onion_count == 1
+        assert result.requests_per_onion[onions[0]] == 7
+
+    def test_empty(self):
+        resolver = DescriptorResolver(make_onions(1), JAN28, FEB8)
+        result = resolver.resolve({})
+        assert result.total_unique_ids == 0
+        assert result.phantom_request_fraction == 0.0
+
+    def test_resolve_normalized_applies_rate(self):
+        onions = make_onions(1)
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        desc_id = descriptor_ids_for_day(onions[0], JAN28)[0]
+        result = resolver.resolve_normalized(
+            {desc_id: [5, 0]}, lambda d, f, m, validity: (f + m) * 10.0
+        )
+        assert result.requests_per_onion[onions[0]] == 50
+
+    def test_resolver_provides_validity_to_normalizer(self):
+        onions = make_onions(1)
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        desc_id = descriptor_ids_for_day(onions[0], JAN28 + DAY)[0]
+        seen = {}
+
+        def normalizer(d, f, m, validity):
+            seen["validity"] = validity
+            return float(f + m)
+
+        resolver.resolve_normalized({desc_id: [1, 0]}, normalizer)
+        start, end = seen["validity"]
+        assert end - start == DAY
+        assert start <= JAN28 + DAY < end
+        assert resolver.validity_of(desc_id) == (start, end)
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=0, max_value=30),  # which onion
+        st.integers(min_value=0, max_value=11),  # day offset inside window
+        st.integers(min_value=0, max_value=1),  # replica
+    )
+    def test_resolution_inverts_publication(self, index, day, replica):
+        """Property: any descriptor ID a known onion publishes inside the
+        window resolves back to that onion — clock skew of ±days included."""
+        onions = make_onions(31, seed=4)
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        onion = onions[index]
+        desc_id = descriptor_ids_for_day(onion, JAN28 + day * DAY)[replica]
+        result = resolver.resolve({desc_id: [1, 0]})
+        assert result.requests_per_onion == {onion: 1}
+
+    def test_outside_window_does_not_resolve(self):
+        onions = make_onions(2, seed=5)
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        stale = descriptor_ids_for_day(onions[0], JAN28 - 40 * DAY)[0]
+        result = resolver.resolve({stale: [0, 5]})
+        assert result.resolved_ids == 0
+        assert result.unresolved_requests == 5

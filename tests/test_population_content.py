@@ -1,0 +1,88 @@
+"""Tests for repro.population.content — page synthesis."""
+
+import pytest
+
+from repro.errors import PopulationError
+from repro.population.content import (
+    is_error_page,
+    ssh_banner,
+    strip_html,
+    synth_error_page,
+    synth_language_page,
+    synth_short_page,
+    synth_topic_page,
+    wrap_html,
+)
+from repro.sim.rng import derive_rng
+
+
+class TestTopicPages:
+    def test_word_count_respected(self):
+        text = synth_topic_page("drugs", derive_rng(1, "t"), word_count=50)
+        assert len(text.split()) == 50
+
+    def test_topical_words_present(self):
+        from repro.population.corpus import TOPIC_VOCABULARY
+
+        text = synth_topic_page("drugs", derive_rng(2, "t"), word_count=200)
+        topical = set(TOPIC_VOCABULARY["drugs"])
+        hits = sum(1 for word in text.split() if word in topical)
+        assert hits > 40  # ~50% topical by construction
+
+    def test_unknown_topic_rejected(self):
+        with pytest.raises(PopulationError):
+            synth_topic_page("astrology", derive_rng(0, "t"))
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(PopulationError):
+            synth_topic_page("drugs", derive_rng(0, "t"), word_count=0)
+
+
+class TestLanguagePages:
+    def test_word_count(self):
+        text = synth_language_page("de", derive_rng(1, "l"), word_count=80)
+        assert len(text.split()) == 80
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(PopulationError):
+            synth_language_page("xx", derive_rng(0, "l"))
+
+    def test_native_words_dominate(self):
+        from repro.population.corpus import LANGUAGE_VOCABULARY
+
+        text = synth_language_page("ru", derive_rng(2, "l"), word_count=200)
+        native = set(LANGUAGE_VOCABULARY["ru"])
+        hits = sum(1 for word in text.split() if word in native)
+        assert hits > 120
+
+
+class TestShortAndErrorPages:
+    def test_short_page_below_cutoff(self):
+        for i in range(20):
+            text = synth_short_page(derive_rng(i, "s"))
+            assert len(text.split()) < 20
+
+    def test_error_page_above_cutoff(self):
+        text = synth_error_page(derive_rng(1, "e"))
+        assert len(text.split()) >= 20
+
+    def test_error_page_detected(self):
+        assert is_error_page(synth_error_page(derive_rng(2, "e")))
+
+    def test_normal_text_not_error(self):
+        assert not is_error_page("welcome to my onion site about chess")
+
+    def test_503_detected(self):
+        assert is_error_page("Error 503 Service Unavailable")
+
+
+class TestHtmlHelpers:
+    def test_wrap_and_strip_roundtrip(self):
+        body = "hello onion world"
+        assert strip_html(wrap_html("t", body)).split() == ["t"] + body.split()
+
+    def test_strip_removes_tags(self):
+        assert "script" not in strip_html("<script>alert(1)</script>safe")
+
+    def test_ssh_banner_is_ssh(self):
+        assert ssh_banner(derive_rng(1, "b")).startswith("SSH-2.0-")

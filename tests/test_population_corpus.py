@@ -1,0 +1,70 @@
+"""Tests for repro.population.corpus — vocabulary sanity."""
+
+from repro.population.corpus import (
+    LANGUAGE_DISPLAY_NAMES,
+    LANGUAGE_VOCABULARY,
+    LANGUAGES,
+    NON_ENGLISH_LANGUAGES,
+    TOPIC_DISPLAY_NAMES,
+    TOPIC_VOCABULARY,
+    TOPICS,
+    TORHOST_DEFAULT_PAGE,
+    words_for_language,
+    words_for_topic,
+)
+
+
+class TestTopics:
+    def test_eighteen_topics(self):
+        assert len(TOPICS) == 18
+
+    def test_every_topic_has_vocabulary(self):
+        for topic in TOPICS:
+            assert len(words_for_topic(topic)) >= 20
+
+    def test_every_topic_has_display_name(self):
+        assert set(TOPIC_DISPLAY_NAMES) == set(TOPICS)
+
+    def test_vocabularies_are_mostly_distinct(self):
+        # Distinct vocabularies are what make topics learnable.
+        for a in TOPICS:
+            for b in TOPICS:
+                if a >= b:
+                    continue
+                overlap = set(TOPIC_VOCABULARY[a]) & set(TOPIC_VOCABULARY[b])
+                assert len(overlap) < min(
+                    len(TOPIC_VOCABULARY[a]), len(TOPIC_VOCABULARY[b])
+                ) * 0.5
+
+
+class TestLanguages:
+    def test_seventeen_languages(self):
+        assert len(LANGUAGES) == 17
+
+    def test_sixteen_non_english(self):
+        assert len(NON_ENGLISH_LANGUAGES) == 16
+        assert "en" not in NON_ENGLISH_LANGUAGES
+
+    def test_every_language_has_vocabulary(self):
+        for language in LANGUAGES:
+            assert len(words_for_language(language)) >= 20
+
+    def test_display_names_complete(self):
+        assert set(LANGUAGE_DISPLAY_NAMES) == set(LANGUAGES)
+        assert LANGUAGE_DISPLAY_NAMES["bnt"] == "Bantu"
+
+    def test_scripts_are_distinctive(self):
+        # Non-Latin languages must actually use their scripts.
+        assert any("Ѐ" <= ch <= "ӿ" for w in LANGUAGE_VOCABULARY["ru"] for ch in w)
+        assert any("؀" <= ch <= "ۿ" for w in LANGUAGE_VOCABULARY["ar"] for ch in w)
+        assert any(ord(ch) > 0x3000 for w in LANGUAGE_VOCABULARY["zh"] for ch in w)
+        assert any(ord(ch) > 0x3000 for w in LANGUAGE_VOCABULARY["ja"] for ch in w)
+
+
+class TestTorhostPage:
+    def test_long_enough_to_classify(self):
+        # Must pass the crawler's 20-word cutoff.
+        assert len(TORHOST_DEFAULT_PAGE.split()) >= 20
+
+    def test_mentions_hosting(self):
+        assert "hosting" in TORHOST_DEFAULT_PAGE.lower()

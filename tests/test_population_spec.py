@@ -1,0 +1,115 @@
+"""Tests for repro.population.spec — calibration arithmetic."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import PopulationError
+from repro.population.spec import (
+    NAMED_SERVICE_RATES,
+    TOPIC_SHARES,
+    PopulationSpec,
+)
+
+
+class TestFullScaleSpec:
+    def setup_method(self):
+        self.spec = PopulationSpec()
+
+    def test_total_onions_is_papers(self):
+        assert self.spec.total_onions == 39_824
+
+    def test_alive_plus_dead_is_total(self):
+        assert (
+            self.spec.alive_at_scan_count + self.spec.dead_by_scan_count
+            == self.spec.total_onions
+        )
+
+    def test_no_port_residual_nonnegative(self):
+        assert self.spec.no_port_count >= 0
+
+    def test_goldnet_split_consistent(self):
+        assert sum(self.spec.goldnet_server_split) == self.spec.goldnet_front_count
+
+    def test_skynet_majority_of_alive(self):
+        # Section III: port 55080 open on more than 50% of live onions.
+        assert self.spec.skynet_bot_count / self.spec.alive_at_scan_count > 0.5
+
+    def test_real_content_count(self):
+        assert self.spec.real_content_count == (
+            self.spec.torhost_content_count
+            + self.spec.deanon_cert_count
+            + self.spec.dual_mismatch_cert_count
+            + self.spec.dual_matching_cert_count
+            + self.spec.https_only_count
+            + self.spec.http_content_count
+        )
+
+    def test_topic_shares_sum_to_100(self):
+        assert sum(TOPIC_SHARES.values()) == 100
+
+    def test_topic_shares_cover_18_categories(self):
+        assert len(TOPIC_SHARES) == 18
+
+    def test_named_rates_are_descending_in_the_head(self):
+        rates = [rate for _, rate in NAMED_SERVICE_RATES[:9]]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_named_rates_match_paper_anchors(self):
+        rates = dict(NAMED_SERVICE_RATES)
+        assert rates["goldnet-1"] == 13_714
+        assert rates["silkroad"] == 1_175
+        assert rates["duckduckgo"] == 55
+
+
+class TestValidation:
+    def test_bad_english_fraction(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec(english_fraction=1.5)
+
+    def test_bad_probability(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec(web_crawl_survival=-0.1)
+
+    def test_split_mismatch(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec(goldnet_server_split=(1, 1))
+
+    def test_overcommitted_quotas(self):
+        spec = PopulationSpec(skynet_bot_count=40_000)
+        with pytest.raises(PopulationError):
+            spec.no_port_count
+
+
+class TestScaling:
+    def test_scale_one_is_identity(self):
+        spec = PopulationSpec()
+        assert spec.scaled(1.0) is spec
+
+    def test_scale_shrinks_proportionally(self):
+        spec = PopulationSpec().scaled(0.1)
+        assert spec.skynet_bot_count == pytest.approx(1_590, rel=0.01)
+        assert spec.alive_at_scan_count + spec.dead_by_scan_count == spec.total_onions
+
+    def test_scale_keeps_groups_nondegenerate(self):
+        spec = PopulationSpec().scaled(0.01)
+        assert spec.goldnet_front_count >= 2
+        assert spec.deanon_cert_count >= 2
+        assert sum(spec.goldnet_server_split) == spec.goldnet_front_count
+
+    def test_scaled_rates_preserve_order(self):
+        spec = PopulationSpec().scaled(0.05)
+        rates = [rate for _, rate in spec.named_rates[:9]]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_invalid_scale(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec().scaled(0)
+
+    def test_scaled_residual_consistent(self):
+        spec = PopulationSpec().scaled(0.2)
+        assert spec.no_port_count >= 0
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PopulationSpec().total_onions = 5  # type: ignore[misc]

@@ -1,0 +1,94 @@
+"""Tests for repro.population.webserver."""
+
+import random
+
+from repro.population.botnets import (
+    make_goldnet_front_host,
+    make_goldnet_servers,
+    make_skynet_bot_host,
+)
+from repro.population.webserver import (
+    GoldnetApp,
+    HttpResponse,
+    PhysicalServer,
+    StaticSite,
+    TlsCertificate,
+)
+from repro.sim.clock import DAY
+
+
+class TestHttpResponse:
+    def test_ok_range(self):
+        assert HttpResponse(status=200).ok
+        assert not HttpResponse(status=503).ok
+        assert not HttpResponse(status=404).ok
+
+
+class TestTlsCertificate:
+    def test_matching_host(self):
+        cert = TlsCertificate(common_name="abc.onion", self_signed=True)
+        assert cert.matches_host("abc.onion")
+        assert not cert.matches_host("xyz.onion")
+
+    def test_public_dns_detection(self):
+        assert TlsCertificate(common_name="shop.example.com", self_signed=False).names_public_dns
+        assert not TlsCertificate(common_name="abc.onion", self_signed=True).names_public_dns
+        assert not TlsCertificate(common_name="localhost", self_signed=True).names_public_dns
+
+
+class TestStaticSite:
+    def test_serves_same_page_everywhere(self):
+        site = StaticSite(html="<html>hi</html>")
+        assert site.handle_request("/", 0).body == "<html>hi</html>"
+        assert site.handle_request("/any/path", 0).status == 200
+
+
+class TestGoldnet:
+    def test_503_on_root(self):
+        server = PhysicalServer(server_id=0, booted_at=0)
+        app = GoldnetApp(server=server)
+        assert app.handle_request("/", DAY).status == 503
+
+    def test_server_status_exposed(self):
+        server = PhysicalServer(server_id=0, booted_at=0)
+        app = GoldnetApp(server=server)
+        response = app.handle_request("/server-status", DAY)
+        assert response.status == 200
+        assert f"Server uptime: {DAY} seconds" in response.body
+        assert "requests/sec" in response.body
+        assert "POST" in response.body
+
+    def test_fronts_of_same_server_share_uptime(self):
+        """The forensic tell that grouped the nine fronts onto two machines."""
+        rng = random.Random(0)
+        servers = make_goldnet_servers((2, 1), now=100 * DAY, rng=rng)
+        host_a = make_goldnet_front_host(servers[0], 0)
+        host_b = make_goldnet_front_host(servers[0], 0)
+        host_c = make_goldnet_front_host(servers[1], 0)
+        when = 120 * DAY
+
+        def uptime_of(host):
+            body = host.endpoint_on(80).application.handle_request(
+                "/server-status", when
+            ).body
+            import re
+
+            return int(re.search(r"uptime: (\d+)", body).group(1))
+
+        assert uptime_of(host_a) == uptime_of(host_b)
+        assert uptime_of(host_a) != uptime_of(host_c)
+
+    def test_traffic_near_330kb(self):
+        rng = random.Random(1)
+        for server in make_goldnet_servers((2, 1), now=50 * DAY, rng=rng):
+            assert 300_000 <= server.traffic_bytes_per_sec <= 360_000
+
+
+class TestSkynetHost:
+    def test_only_port_55080(self):
+        host = make_skynet_bot_host(1, 0, None)
+        assert host.open_ports == [55080]
+
+    def test_abnormal_error_configured(self):
+        host = make_skynet_bot_host(1, 0, None)
+        assert host.endpoint_on(55080).abnormal_error

@@ -1,0 +1,102 @@
+"""Tests for repro.sim.clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import (
+    DAY,
+    HOUR,
+    MINUTE,
+    SimClock,
+    day_number,
+    format_date,
+    parse_date,
+)
+
+
+class TestParseDate:
+    def test_plain_date(self):
+        assert parse_date("1970-01-01") == 0
+
+    def test_known_anchor(self):
+        # The paper's harvest date.
+        assert parse_date("2013-02-04") == 1359936000
+
+    def test_with_time(self):
+        assert parse_date("1970-01-01 01:00:00") == HOUR
+
+    def test_with_minutes_only(self):
+        assert parse_date("1970-01-02 00:30") == DAY + 30 * MINUTE
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SimulationError):
+            parse_date("not-a-date")
+
+    def test_rejects_partial(self):
+        with pytest.raises(SimulationError):
+            parse_date("2013-02")
+
+    def test_roundtrip(self):
+        ts = parse_date("2013-10-31")
+        assert parse_date(format_date(ts)) == ts
+
+    def test_roundtrip_with_time(self):
+        ts = parse_date("2013-10-31 13:37:11")
+        assert parse_date(format_date(ts, with_time=True)) == ts
+
+
+class TestFormatDate:
+    def test_epoch(self):
+        assert format_date(0) == "1970-01-01"
+
+    def test_with_time(self):
+        assert format_date(HOUR + MINUTE, with_time=True) == "1970-01-01 01:01:00"
+
+
+class TestDayNumber:
+    def test_epoch_day(self):
+        assert day_number(0) == 0
+
+    def test_one_second_before_midnight(self):
+        assert day_number(DAY - 1) == 0
+
+    def test_midnight(self):
+        assert day_number(DAY) == 1
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock(123).now == 123
+
+    def test_advance_to(self):
+        clock = SimClock(10)
+        clock.advance_to(50)
+        assert clock.now == 50
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(10)
+        clock.advance_to(10)
+        assert clock.now == 10
+
+    def test_cannot_rewind(self):
+        clock = SimClock(10)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9)
+
+    def test_advance_by(self):
+        clock = SimClock(0)
+        clock.advance_by(HOUR)
+        assert clock.now == HOUR
+
+    def test_advance_by_zero(self):
+        clock = SimClock(5)
+        clock.advance_by(0)
+        assert clock.now == 5
+
+    def test_advance_by_negative_rejected(self):
+        clock = SimClock(5)
+        with pytest.raises(SimulationError):
+            clock.advance_by(-1)
+
+    def test_repr_shows_date(self):
+        assert "1970-01-01" in repr(SimClock(0))

@@ -1,0 +1,110 @@
+"""Tests for repro.sim.engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventEngine
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        engine = EventEngine(SimClock(0))
+        fired = []
+        engine.schedule_at(10, lambda: fired.append("late"))
+        engine.schedule_at(5, lambda: fired.append("early"))
+        engine.run_until(20)
+        assert fired == ["early", "late"]
+
+    def test_same_time_fires_in_scheduling_order(self):
+        engine = EventEngine(SimClock(0))
+        fired = []
+        for tag in ("a", "b", "c"):
+            engine.schedule_at(7, lambda t=tag: fired.append(t))
+        engine.run_until(7)
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_in_is_relative(self):
+        engine = EventEngine(SimClock(100))
+        fired = []
+        engine.schedule_in(5, lambda: fired.append(engine.now))
+        engine.run_until(200)
+        assert fired == [105]
+
+    def test_cannot_schedule_in_past(self):
+        engine = EventEngine(SimClock(100))
+        with pytest.raises(SimulationError):
+            engine.schedule_at(99, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = EventEngine(SimClock(0))
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1, lambda: None)
+
+    def test_clock_advances_to_run_until_target(self):
+        engine = EventEngine(SimClock(0))
+        engine.run_until(42)
+        assert engine.now == 42
+
+    def test_run_until_cannot_go_backwards(self):
+        engine = EventEngine(SimClock(10))
+        with pytest.raises(SimulationError):
+            engine.run_until(5)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = EventEngine(SimClock(0))
+        fired = []
+        event = engine.schedule_at(5, lambda: fired.append(1))
+        event.cancel()
+        engine.run_until(10)
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        engine = EventEngine(SimClock(0))
+        event = engine.schedule_at(5, lambda: None)
+        engine.schedule_at(6, lambda: None)
+        assert engine.pending == 2
+        event.cancel()
+        assert engine.pending == 1
+
+
+class TestCascading:
+    def test_event_can_schedule_more_events(self):
+        engine = EventEngine(SimClock(0))
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule_in(1, lambda: fired.append("second"))
+
+        engine.schedule_at(5, first)
+        engine.run_until(10)
+        assert fired == ["first", "second"]
+
+    def test_chained_event_beyond_horizon_waits(self):
+        engine = EventEngine(SimClock(0))
+        fired = []
+        engine.schedule_at(5, lambda: engine.schedule_in(100, lambda: fired.append(1)))
+        engine.run_until(10)
+        assert fired == []
+        engine.run_until(200)
+        assert fired == [1]
+
+    def test_run_all_guard_against_runaway(self):
+        engine = EventEngine(SimClock(0))
+
+        def rearm():
+            engine.schedule_in(1, rearm)
+
+        engine.schedule_at(1, rearm)
+        with pytest.raises(SimulationError):
+            engine.run_all(limit=50)
+
+    def test_events_fired_counter(self):
+        engine = EventEngine(SimClock(0))
+        for t in range(5):
+            engine.schedule_at(t + 1, lambda: None)
+        engine.run_until(10)
+        assert engine.events_fired == 5

@@ -1,0 +1,152 @@
+"""Tests for repro.tracking.deanon — the opportunistic client capture."""
+
+import random
+
+import pytest
+
+from repro.client.client import TorClient
+from repro.crypto.descriptor_id import REPLICAS, descriptor_id
+from repro.crypto.keys import KeyPair
+from repro.errors import AttackError
+from repro.hs.service import HiddenService
+from repro.relay.flags import RelayFlags
+from repro.sim.rng import derive_rng
+from repro.tracking.deanon import ClientDeanonAttack, deploy_attacker_guards
+
+
+def setup_attack(network, pool, target, watch_all=False):
+    """Deploy guards, mark the responsible HSDirs as attacker-controlled."""
+    guards = deploy_attacker_guards(
+        network, 6, derive_rng(1, "g"), bandwidth=8000, address_pool=pool
+    )
+    network.rebuild_consensus(network.clock.now)
+    network.publish_service(target)
+    now = network.clock.now
+    target_ids = {
+        descriptor_id(target.onion, now, replica) for replica in range(REPLICAS)
+    }
+    hsdir_ids = set()
+    for fp in network.responsible_set(target.onion):
+        relay = network.relay_for_fingerprint(fp)
+        hsdir_ids.add(relay.relay_id)
+    attack = ClientDeanonAttack(
+        hsdir_relay_ids=hsdir_ids,
+        guard_fingerprints=frozenset(g.fingerprint for g in guards),
+        target_descriptor_ids=None if watch_all else target_ids,
+        rng=derive_rng(2, "sig"),
+    )
+    attack.attach(network)
+    return attack, guards
+
+
+def run_clients(network, target, count=120, fetches=3, seed=3):
+    rng = derive_rng(seed, "clients")
+    clients = []
+    for i in range(count):
+        client = TorClient(ip=rng.getrandbits(32), rng=derive_rng(seed, "c", str(i)))
+        client.refresh_guards(network)
+        clients.append(client)
+    for client in clients:
+        for _ in range(fetches):
+            client.fetch_onion(network, target.onion)
+    return clients
+
+
+class TestClientDeanonAttack:
+    def test_captures_subset_of_clients(self, network_and_pool):
+        network, pool = network_and_pool
+        target = HiddenService(
+            keypair=KeyPair.generate(random.Random(50)), online_from=0
+        )
+        attack, guards = setup_attack(network, pool, target)
+        run_clients(network, target)
+        assert attack.signatures_injected > 0
+        assert 0 < len(attack.captures) < attack.signatures_injected
+        assert attack.false_positives == 0
+
+    def test_captured_guard_is_attackers(self, network_and_pool):
+        network, pool = network_and_pool
+        target = HiddenService(
+            keypair=KeyPair.generate(random.Random(51)), online_from=0
+        )
+        attack, guards = setup_attack(network, pool, target)
+        run_clients(network, target)
+        guard_fps = {g.fingerprint for g in guards}
+        for capture in attack.captures:
+            assert capture.guard_fingerprint in guard_fps
+
+    def test_capture_rate_tracks_guard_share(self, network_and_pool):
+        network, pool = network_and_pool
+        target = HiddenService(
+            keypair=KeyPair.generate(random.Random(52)), online_from=0
+        )
+        attack, guards = setup_attack(network, pool, target)
+        run_clients(network, target, count=250)
+        entries = network.consensus.with_flag(RelayFlags.GUARD)
+        total_bw = sum(e.bandwidth for e in entries)
+        attacker_bw = sum(
+            e.bandwidth for e in entries if e.fingerprint in attack.guard_fingerprints
+        )
+        share = attacker_bw / total_bw
+        rate = attack.capture_rate()
+        assert abs(rate - share) < 0.6 * share + 0.05
+
+    def test_untargeted_descriptors_ignored(self, network_and_pool):
+        network, pool = network_and_pool
+        target = HiddenService(
+            keypair=KeyPair.generate(random.Random(53)), online_from=0
+        )
+        other = HiddenService(
+            keypair=KeyPair.generate(random.Random(54)), online_from=0
+        )
+        attack, _ = setup_attack(network, pool, target)
+        network.publish_service(other)
+        injected_before = attack.signatures_injected
+        client = TorClient(ip=1, rng=derive_rng(4, "c"))
+        client.refresh_guards(network)
+        client.fetch_onion(network, other.onion)
+        # Only fetches that happen to hit the attacker's directories AND
+        # target list inject; `other`'s directories are (wlog) different.
+        assert attack.signatures_injected in (injected_before, injected_before)
+
+    def test_visit_counts_separate_heavy_users(self, network_and_pool):
+        """The Silk Road sellers-vs-buyers discriminator: per-IP visit
+        frequency."""
+        network, pool = network_and_pool
+        target = HiddenService(
+            keypair=KeyPair.generate(random.Random(55)), online_from=0
+        )
+        attack, guards = setup_attack(network, pool, target)
+        # One "seller" visits 60×; buyers once each.
+        seller = TorClient(ip=0xDEADBEEF, rng=derive_rng(5, "seller"))
+        seller.refresh_guards(network)
+        # Force the seller behind an attacker guard for determinism.
+        seller.guards._slots[0].fingerprint = guards[0].fingerprint
+        for _ in range(60):
+            seller.fetch_onion(network, target.onion)
+        run_clients(network, target, count=40, fetches=1, seed=6)
+        counts = attack.visit_counts()
+        assert counts.get(0xDEADBEEF, 0) >= 10
+        assert max(counts.values()) == counts[0xDEADBEEF]
+
+    def test_retarget(self, network_and_pool):
+        network, pool = network_and_pool
+        attack = ClientDeanonAttack(
+            hsdir_relay_ids=set(), guard_fingerprints=frozenset()
+        )
+        attack.retarget({b"\x01" * 20})
+        assert attack.target_descriptor_ids == {b"\x01" * 20}
+
+    def test_guard_deployment_validation(self, network_and_pool):
+        network, pool = network_and_pool
+        with pytest.raises(AttackError):
+            deploy_attacker_guards(network, 0, derive_rng(7, "g"), address_pool=pool)
+
+    def test_deployed_guards_get_guard_flag(self, network_and_pool):
+        network, pool = network_and_pool
+        guards = deploy_attacker_guards(
+            network, 3, derive_rng(8, "g"), address_pool=pool
+        )
+        consensus = network.rebuild_consensus(network.clock.now)
+        for relay in guards:
+            assert consensus.entry_for(relay.fingerprint).has(RelayFlags.GUARD)

@@ -1,0 +1,47 @@
+"""Tests for repro.tracking.geomap."""
+
+import random
+
+from repro.net.geoip import GeoIP
+from repro.tracking.geomap import ClientGeoMap
+
+
+class TestClientGeoMap:
+    def setup_method(self):
+        self.geoip = GeoIP(seed=1)
+        self.geomap = ClientGeoMap(geoip=self.geoip)
+
+    def test_add_and_count(self):
+        rng = random.Random(0)
+        ips = [self.geoip.random_ip(rng, "DE") for _ in range(5)]
+        ips += [self.geoip.random_ip(rng, "US") for _ in range(3)]
+        self.geomap.add_ips(ips)
+        assert self.geomap.total_clients == 8
+        assert dict(self.geomap.distribution())["DE"] == 5
+        assert self.geomap.country_count == 2
+
+    def test_shares_sum_to_one(self):
+        rng = random.Random(1)
+        self.geomap.add_ips(self.geoip.random_ip(rng) for _ in range(50))
+        assert abs(sum(self.geomap.shares().values()) - 1.0) < 1e-9
+
+    def test_empty_map(self):
+        assert self.geomap.shares() == {}
+        assert self.geomap.format_map() == "(no clients captured)"
+
+    def test_format_map_ordered(self):
+        rng = random.Random(2)
+        self.geomap.add_ips([self.geoip.random_ip(rng, "FR") for _ in range(9)])
+        self.geomap.add_ips([self.geoip.random_ip(rng, "JP")])
+        lines = self.geomap.format_map().splitlines()
+        assert lines[0].strip().startswith("FR")
+
+    def test_recovered_distribution_matches_sampling(self):
+        """Resolving IPs generated per country weights yields roughly the
+        same weights back — Fig 3's correctness condition."""
+        rng = random.Random(3)
+        self.geomap.add_ips(self.geoip.random_ip(rng) for _ in range(4000))
+        shares = self.geomap.shares()
+        top = max(shares, key=shares.get)
+        # US carries the largest weight in the default table.
+        assert top == "US"

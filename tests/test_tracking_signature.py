@@ -1,0 +1,63 @@
+"""Tests for repro.tracking.signature."""
+
+import random
+
+import pytest
+
+from repro.errors import AttackError
+from repro.tracking.signature import (
+    SignatureDetector,
+    TrafficSignature,
+    honest_response_cells,
+)
+
+
+class TestTrafficSignature:
+    def test_encode_appends_pattern(self):
+        signature = TrafficSignature(pattern=(1, 50))
+        assert signature.encode(3) == [3, 1, 50]
+
+    def test_too_short_pattern_rejected(self):
+        with pytest.raises(AttackError):
+            TrafficSignature(pattern=(1,))
+
+    def test_nonpositive_cells_rejected(self):
+        with pytest.raises(AttackError):
+            TrafficSignature(pattern=(0, 5))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(AttackError):
+            TrafficSignature().encode(0)
+
+
+class TestSignatureDetector:
+    def setup_method(self):
+        self.signature = TrafficSignature()
+        self.detector = SignatureDetector(self.signature)
+
+    def test_detects_own_encoding(self):
+        assert self.detector.matches(self.signature.encode(3))
+
+    def test_detects_with_jitter(self):
+        bursts = self.signature.encode(3)
+        bursts[-1] += 2  # cells merged in flight
+        assert self.detector.matches(bursts)
+
+    def test_rejects_beyond_jitter(self):
+        bursts = self.signature.encode(3)
+        bursts[-1] += 10
+        assert not self.detector.matches(bursts)
+
+    def test_rejects_short_streams(self):
+        assert not self.detector.matches([3])
+
+    def test_rejects_honest_traffic(self):
+        rng = random.Random(0)
+        false_positives = sum(
+            self.detector.matches(honest_response_cells(rng)) for _ in range(5000)
+        )
+        assert false_positives == 0
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(AttackError):
+            SignatureDetector(self.signature, jitter=-1)

@@ -1,0 +1,145 @@
+"""Property-based tests for workload allocation arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.client.workload import (
+    PopularityWorkload,
+    WorkloadSpec,
+    diurnal_weight,
+    zipf_weights,
+)
+from repro.crypto.onion import onion_address_from_key
+from repro.sim.clock import DAY, HOUR
+from repro.sim.rng import derive_rng
+
+
+def make_workload(seed=0):
+    spec = WorkloadSpec(window_start=0, window_end=2 * HOUR)
+    return PopularityWorkload(spec, derive_rng(seed, "wp"))
+
+
+def onions(count, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    return [onion_address_from_key(rng.randbytes(64)) for _ in range(count)]
+
+
+class TestSpreadProperties:
+    @settings(max_examples=50)
+    @given(
+        total=st.integers(min_value=0, max_value=5000),
+        count=st.integers(min_value=1, max_value=40),
+        exponent=st.floats(min_value=0.0, max_value=2.0),
+        offset=st.integers(min_value=0, max_value=100),
+    )
+    def test_spread_sums_exactly(self, total, count, exponent, offset):
+        workload = make_workload()
+        spread = workload._spread(total, onions(count), exponent, offset)
+        assert sum(spread.values()) == total
+        assert all(value > 0 for value in spread.values())
+
+    @settings(max_examples=30)
+    @given(
+        total=st.integers(min_value=100, max_value=5000),
+        count=st.integers(min_value=2, max_value=30),
+    )
+    def test_spread_respects_rank_order(self, total, count):
+        targets = onions(count)
+        spread = make_workload()._spread(total, targets, exponent=1.2)
+        allocations = [spread.get(onion, 0) for onion in targets]
+        assert all(a >= b for a, b in zip(allocations, allocations[1:]))
+
+    def test_spread_empty_targets(self):
+        assert make_workload()._spread(100, [], 1.0) == {}
+
+    def test_spread_zero_total(self):
+        assert make_workload()._spread(0, onions(3), 1.0) == {}
+
+
+class TestZipfProperties:
+    @settings(max_examples=40)
+    @given(
+        count=st.integers(min_value=1, max_value=200),
+        exponent=st.floats(min_value=0.0, max_value=3.0),
+        offset=st.integers(min_value=0, max_value=50),
+    )
+    def test_weights_positive_and_monotone(self, count, exponent, offset):
+        weights = zipf_weights(count, exponent, offset)
+        assert len(weights) == count
+        assert all(w > 0 for w in weights)
+        assert all(a >= b - 1e-12 for a, b in zip(weights, weights[1:]))
+
+
+class TestDiurnalProperties:
+    @settings(max_examples=40)
+    @given(
+        ts=st.integers(min_value=0, max_value=10 * DAY),
+        amplitude=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_weight_bounded(self, ts, amplitude):
+        weight = diurnal_weight(ts, amplitude=amplitude)
+        assert 1 - amplitude - 1e-9 <= weight <= 1 + amplitude + 1e-9
+
+    def test_peak_at_peak_hour(self):
+        assert diurnal_weight(20 * HOUR, peak_hour=20, amplitude=1.0) == pytest.approx(2.0)
+
+    def test_trough_opposite_peak(self):
+        assert diurnal_weight(8 * HOUR, peak_hour=20, amplitude=1.0) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_daily_period(self):
+        for hour in range(24):
+            assert diurnal_weight(hour * HOUR) == pytest.approx(
+                diurnal_weight(hour * HOUR + 3 * DAY)
+            )
+
+    def test_mean_is_one(self):
+        weights = [diurnal_weight(h * HOUR) for h in range(24)]
+        assert sum(weights) / 24 == pytest.approx(1.0, abs=1e-9)
+
+    def test_bad_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            diurnal_weight(0, amplitude=2.0)
+
+
+class TestPlanSliceProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        slices=st.integers(min_value=1, max_value=24),
+        named=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_slicing_preserves_totals(self, slices, named, seed):
+        targets = onions(3, seed=seed)
+        spec = WorkloadSpec(
+            window_start=0,
+            window_end=DAY,
+            named_rates={targets[0]: named},
+            tail_onions=targets[1:],
+            tail_total=37,
+            ghost_onions=onions(2, seed=seed + 100),
+            ghost_total=23,
+        )
+        workload = PopularityWorkload(spec, derive_rng(seed, "plan"))
+        planned = workload.plan_slices(slices)
+        assert planned.total_requests == named + 37 + 23
+        for buckets in planned.buckets.values():
+            assert len(buckets) == slices
+            assert all(b >= 0 for b in buckets)
+
+    def test_mismatched_slice_starts_rejected(self):
+        targets = onions(1)
+        spec = WorkloadSpec(
+            window_start=0,
+            window_end=DAY,
+            named_rates={targets[0]: 10},
+            diurnal_onions={targets[0]},
+        )
+        workload = PopularityWorkload(spec, derive_rng(0, "plan"))
+        with pytest.raises(ValueError):
+            workload.plan_slices(4, slice_starts=[0, HOUR])
