@@ -93,6 +93,43 @@ def build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="run every experiment (small scale)")
     _add_common(everything, scale_default=0.05)
 
+    lint = sub.add_parser(
+        "lint",
+        help="check determinism & convention rules (REP001-REP006)",
+        description=(
+            "Static analysis over the given paths: seeded-RNG discipline, "
+            "sim-clock usage, the repro.errors hierarchy, stable set "
+            "ordering, and import layering.  Exits 1 when findings remain."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files or directories"
+    )
+    lint.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (json: one record per finding)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule subset, e.g. REP001,REP003",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppress findings recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="record current findings as the new baseline and exit 0",
+    )
+
     return parser
 
 
@@ -234,14 +271,64 @@ def _run_all(args) -> ExperimentReport:
         ),
     ]
     for name, runner in stages:
-        started = time.time()
+        # Monotonic, not wall-clock (REP003): this measures elapsed runtime
+        # only and must never feed simulated time.
+        started = time.perf_counter()
         result = runner()
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         print(result.report.format())
         print(f"[{name} done in {elapsed:.1f}s]\n")
         summary.add(f"{name} max rel. error", None, round(result.report.max_error(), 3))
     _emit(summary, json_path=args.json)
     return summary
+
+
+def _run_lint(args) -> int:
+    import json
+    import os
+
+    from repro.devtools import run_lint
+    from repro.devtools.baseline import write_baseline
+    from repro.errors import ConfigError
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [token.strip() for token in args.rules.split(",") if token.strip()]
+    try:
+        report = run_lint(args.paths, rule_ids=rule_ids, baseline_path=args.baseline)
+        if args.write_baseline is not None:
+            recorded = write_baseline(args.write_baseline, report.findings)
+            print(f"[baseline: {recorded} finding(s) recorded to {args.write_baseline}]")
+            return 0
+    except ConfigError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.format == "json":
+            print(
+                json.dumps(
+                    [finding.to_dict() for finding in report.findings], indent=2
+                )
+            )
+        else:
+            for finding in report.findings:
+                print(finding.format())
+            summary = (
+                f"[{report.files_scanned} file(s) scanned, "
+                f"{len(report.findings)} finding(s)"
+            )
+            if report.suppressed:
+                summary += f", {report.suppressed} suppressed"
+            if report.baselined:
+                summary += f", {report.baselined} baselined"
+            print(summary + "]")
+    except BrokenPipeError:
+        # Output piped into e.g. ``head``; the findings still decide the
+        # exit code.  Detach stdout so interpreter teardown stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0 if report.ok else 1
 
 
 _RUNNERS = {
@@ -254,14 +341,15 @@ _RUNNERS = {
     "sec7": _run_sec7,
     "harvest": _run_harvest,
     "all": _run_all,
+    "lint": _run_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    _RUNNERS[args.command](args)
-    return 0
+    result = _RUNNERS[args.command](args)
+    return result if isinstance(result, int) else 0
 
 
 if __name__ == "__main__":

@@ -27,8 +27,10 @@ from typing import TYPE_CHECKING
 
 from repro.client.client import TorClient
 from repro.crypto.onion import OnionAddress
+from repro.errors import ConfigError
 from repro.net.geoip import GeoIP
 from repro.sim.clock import DAY, Timestamp
+from repro.sim.rng import split_rng
 
 if TYPE_CHECKING:  # circular: tornet imports repro.hs, which imports here
     from repro.tornet import TorNetwork
@@ -63,7 +65,7 @@ def diurnal_weight(
     1.5
     """
     if not 0 <= amplitude <= 1:
-        raise ValueError(f"amplitude out of range: {amplitude}")
+        raise ConfigError(f"amplitude out of range: {amplitude}")
     hour = (int(ts) % DAY) / 3600.0
     return 1.0 + amplitude * math.cos(2 * math.pi * (hour - peak_hour) / 24.0)
 
@@ -161,7 +163,7 @@ class PopularityWorkload:
             clients.append(
                 TorClient(
                     ip=ip,
-                    rng=random.Random(self._rng.getrandbits(64)),
+                    rng=split_rng(self._rng, "client", str(index)),
                     clock_skew=skew,
                     country=country,
                 )
@@ -241,7 +243,7 @@ class PopularityWorkload:
         slice_weights: Optional[List[float]] = None
         if slice_starts is not None and spec.diurnal_onions:
             if len(slice_starts) != slice_count:
-                raise ValueError(
+                raise ConfigError(
                     f"{len(slice_starts)} slice starts for {slice_count} slices"
                 )
             slice_weights = [

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Tuple
 
 from repro.crypto.onion import OnionAddress
+from repro.errors import CrawlError
 from repro.net.endpoint import ConnectOutcome
 from repro.net.transport import TorTransport
 from repro.crawl.page import FetchedPage, PageKind
@@ -38,7 +39,7 @@ class CrawlResults:
         for page in self.pages:
             if page.destination == (onion, port):
                 return page
-        raise KeyError((onion, port))
+        raise CrawlError(f"destination not in crawl results: {(onion, port)}")
 
 
 class Crawler:

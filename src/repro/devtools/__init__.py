@@ -1,0 +1,23 @@
+"""Static-analysis devtools: the ``repro lint`` determinism checker.
+
+The whole value of this reproduction is that one integer seed replays the
+paper's February-2013 measurements bit-for-bit.  That property is easy to
+lose — a stray ``random.Random(0)``, a ``time.time()`` leaking wall-clock
+into simulated time — so the conventions are machine-enforced:
+
+* :mod:`repro.devtools.registry` — rule registry and base classes;
+* :mod:`repro.devtools.rules` — per-file AST rules REP001–REP005;
+* :mod:`repro.devtools.layering` — import-graph rule REP006;
+* :mod:`repro.devtools.baseline` — fingerprint baseline for adopting the
+  linter on a codebase with pre-existing findings;
+* :mod:`repro.devtools.engine` — file walking, suppression comments, and
+  the ``run_lint`` entry point used by ``repro lint``.
+
+Everything is stdlib-``ast``; there are no third-party dependencies.
+"""
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import all_rules, get_rule
+from repro.devtools.engine import LintReport, run_lint
+
+__all__ = ["Finding", "LintReport", "all_rules", "get_rule", "run_lint"]

@@ -1,0 +1,64 @@
+"""Finding baselines: adopt the linter without fixing everything first.
+
+A baseline is a JSON file of finding fingerprints (rule + file + source
+text, so unrelated edits that shift line numbers don't invalidate it).
+``repro lint --write-baseline`` records the current findings; subsequent
+runs with ``--baseline`` report only findings not in the file, which lets a
+codebase ratchet down to zero instead of gating on a big-bang cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Set
+
+from repro.devtools.findings import Finding
+from repro.errors import ConfigError
+
+_VERSION = 1
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Record ``findings`` at ``path``; returns the number recorded."""
+    records = sorted(
+        (
+            {
+                "rule": finding.rule,
+                "file": finding.file,
+                "line": finding.line,
+                "fingerprint": finding.fingerprint,
+            }
+            for finding in findings
+        ),
+        key=lambda record: (record["file"], record["line"], record["rule"]),
+    )
+    payload = {"version": _VERSION, "findings": records}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(records)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The fingerprint set recorded at ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ConfigError(f"baseline {path} has an unsupported format")
+    records = payload.get("findings", [])
+    try:
+        return {record["fingerprint"] for record in records}
+    except (TypeError, KeyError) as exc:
+        raise ConfigError(f"baseline {path} has malformed findings") from exc
+
+
+def apply_baseline(
+    findings: Iterable[Finding], fingerprints: Set[str]
+) -> List[Finding]:
+    """Findings not covered by the baseline (new debt)."""
+    return [f for f in findings if f.fingerprint not in fingerprints]

@@ -1,0 +1,196 @@
+"""Lint engine: file discovery, suppression comments, rule dispatch.
+
+Suppressions are inline comments on the flagged line::
+
+    started = time.time()  # repro-lint: disable=REP003
+
+or file-wide, anywhere in the file::
+
+    # repro-lint: disable-file=REP005
+
+A bare ``disable`` (no ``=RULES``) silences every rule for that line.
+Suppression is deliberate and visible in the diff — unlike a baseline
+entry, which marks *inherited* debt — so reviewers can veto it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.baseline import apply_baseline, load_baseline
+from repro.devtools.findings import Finding
+from repro.devtools.registry import (
+    AstRule,
+    FileContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+)
+from repro.errors import ConfigError
+
+_INLINE_RE = re.compile(r"#\s*repro-lint:\s*disable(?:=([A-Z0-9,\s]+))?")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    out: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in names:
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+        else:
+            raise ConfigError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name by walking up the ``__init__.py`` package chain."""
+    abspath = os.path.abspath(path)
+    directory, filename = os.path.split(abspath)
+    parts = [os.path.splitext(filename)[0]]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.append(package)
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+def parse_file(path: str) -> FileContext:
+    """Parse one file into a :class:`FileContext` (posix-normalised path)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ConfigError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise ConfigError(f"syntax error in {path}:{exc.lineno}: {exc.msg}") from exc
+    return FileContext(
+        path=path.replace(os.sep, "/"),
+        module=module_name_for(path),
+        tree=tree,
+        lines=source.splitlines(),
+    )
+
+
+def _parse_rule_list(text: str) -> Set[str]:
+    return {token.strip() for token in text.split(",") if token.strip()}
+
+
+def _suppressions(ctx: FileContext) -> Tuple[Dict[int, Optional[Set[str]]], Set[str]]:
+    """Per-line and file-wide suppressed rule ids.
+
+    The per-line map holds ``None`` for a bare ``disable`` (all rules).
+    """
+    by_line: Dict[int, Optional[Set[str]]] = {}
+    file_wide: Set[str] = set()
+    for lineno, text in enumerate(ctx.lines, start=1):
+        if "#" not in text:
+            continue
+        file_match = _FILE_RE.search(text)
+        if file_match:
+            file_wide |= _parse_rule_list(file_match.group(1))
+            continue
+        inline_match = _INLINE_RE.search(text)
+        if inline_match:
+            rules_text = inline_match.group(1)
+            by_line[lineno] = (
+                _parse_rule_list(rules_text) if rules_text else None
+            )
+    return by_line, file_wide
+
+
+def _is_suppressed(
+    finding: Finding,
+    by_line: Dict[int, Optional[Set[str]]],
+    file_wide: Set[str],
+) -> bool:
+    if finding.rule in file_wide:
+        return True
+    if finding.line in by_line:
+        rules = by_line[finding.line]
+        return rules is None or finding.rule in rules
+    return False
+
+
+def run_lint(
+    paths: Sequence[str],
+    rule_ids: Optional[Iterable[str]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` and return the report.
+
+    ``rule_ids`` restricts the run to a subset of rules; ``baseline_path``
+    filters out findings recorded in that baseline file.
+    """
+    if rule_ids is not None:
+        rules: List[Rule] = [get_rule(rule_id) for rule_id in sorted(set(rule_ids))]
+    else:
+        rules = all_rules()
+    ast_rules = [rule for rule in rules if isinstance(rule, AstRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+
+    contexts = [parse_file(path) for path in iter_python_files(paths)]
+    report = LintReport(files_scanned=len(contexts))
+
+    raw: List[Tuple[Finding, FileContext]] = []
+    by_path = {ctx.path: ctx for ctx in contexts}
+    for ctx in contexts:
+        for rule in ast_rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                raw.append((finding, ctx))
+    for rule in project_rules:
+        scoped = [ctx for ctx in contexts if rule.applies_to(ctx)]
+        for finding in rule.check_project(scoped):
+            raw.append((finding, by_path[finding.file]))
+
+    kept: List[Finding] = []
+    suppression_cache: Dict[str, Tuple[Dict, Set[str]]] = {}
+    for finding, ctx in raw:
+        if ctx.path not in suppression_cache:
+            suppression_cache[ctx.path] = _suppressions(ctx)
+        by_line, file_wide = suppression_cache[ctx.path]
+        if _is_suppressed(finding, by_line, file_wide):
+            report.suppressed += 1
+        else:
+            kept.append(finding)
+
+    if baseline_path is not None:
+        fingerprints = load_baseline(baseline_path)
+        before = len(kept)
+        kept = apply_baseline(kept, fingerprints)
+        report.baselined = before - len(kept)
+
+    report.findings = sorted(kept, key=Finding.sort_key)
+    return report

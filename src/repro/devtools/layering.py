@@ -1,0 +1,230 @@
+"""REP006: import-graph layering and cycle checking.
+
+Measurement code sits *above* the substrates it measures: the crypto, sim,
+and net layers must never import the trawl/experiments/analysis layers that
+drive them, and the module graph must stay acyclic (module-level imports
+only — ``TYPE_CHECKING`` blocks and function-local imports are runtime
+no-ops and are excluded, matching how Python actually executes the code).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import FileContext, ProjectRule, register
+
+#: Measurement-side subpackages that the low substrate layers may not import.
+_MEASUREMENT_LAYERS = frozenset(
+    {
+        "analysis",
+        "classify",
+        "client",
+        "crawl",
+        "detection",
+        "experiments",
+        "popularity",
+        "tracking",
+        "trawl",
+    }
+)
+
+#: subpackage -> subpackages it must not (transitively directly) import.
+FORBIDDEN_IMPORTS: Dict[str, frozenset] = {
+    "crypto": _MEASUREMENT_LAYERS,
+    "sim": _MEASUREMENT_LAYERS,
+    "net": _MEASUREMENT_LAYERS,
+}
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+def iter_runtime_imports(
+    tree: ast.Module, module: str
+) -> Iterator[Tuple[str, int]]:
+    """Yield ``(imported_module, lineno)`` for imports that run at import time.
+
+    Descends into class bodies and plain ``if``/``try`` blocks (those execute
+    on import) but not into function bodies or ``if TYPE_CHECKING:`` guards.
+    Relative imports are resolved against ``module``.
+    """
+    package_parts = module.split(".")[:-1]
+
+    def resolve_from(node: ast.ImportFrom) -> List[Tuple[str, int]]:
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            anchor = package_parts[: len(package_parts) - (node.level - 1)]
+            base = ".".join(anchor)
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        if not base:
+            return []
+        # ``from pkg import name`` may bind either pkg.name (a submodule) or
+        # an attribute of pkg; record both candidates — the graph builder
+        # keeps whichever actually exists in the scanned set.
+        out = [(base, node.lineno)]
+        out.extend((f"{base}.{alias.name}", node.lineno) for alias in node.names)
+        return out
+
+    def walk(body: Sequence[ast.stmt]) -> Iterator[Tuple[str, int]]:
+        for stmt in body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    yield alias.name, stmt.lineno
+            elif isinstance(stmt, ast.ImportFrom):
+                yield from resolve_from(stmt)
+            elif isinstance(stmt, ast.If):
+                if not _is_type_checking_test(stmt.test):
+                    yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk(stmt.body)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from walk(stmt.body)
+
+    yield from walk(tree.body)
+
+
+def _subpackage_of(module: str) -> str:
+    """The layer name: second dotted component (``repro.net.geoip`` → ``net``)."""
+    parts = module.split(".")
+    return parts[1] if len(parts) > 1 else parts[0]
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's SCC, iterative; returns components of size > 1 plus self-loops."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for succ in edges:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph[node]:
+                    components.append(sorted(component))
+    return components
+
+
+@register
+class LayeringRule(ProjectRule):
+    """REP006: layer violations and import cycles across the scanned files."""
+
+    id = "REP006"
+    summary = "import-layer violation or cycle"
+
+    def check_project(self, files: Sequence[FileContext]) -> Iterator[Finding]:
+        by_module = {ctx.module: ctx for ctx in files}
+        graph: Dict[str, Set[str]] = {module: set() for module in by_module}
+        edge_lines: Dict[Tuple[str, str], int] = {}
+
+        for ctx in files:
+            for target, lineno in iter_runtime_imports(ctx.tree, ctx.module):
+                resolved = target
+                if resolved not in by_module:
+                    # ``import pkg.sub`` also names every ancestor package.
+                    while "." in resolved and resolved not in by_module:
+                        resolved = resolved.rsplit(".", 1)[0]
+                if resolved not in by_module or resolved == ctx.module:
+                    continue
+                if ctx.module.startswith(resolved + "."):
+                    # Importing an ancestor package (``from repro.population
+                    # import botnets`` inside that package) is inherent to
+                    # Python's import machinery, not a layering edge.
+                    continue
+                graph[ctx.module].add(resolved)
+                edge_lines.setdefault((ctx.module, resolved), lineno)
+
+        reported: Set[Tuple[str, int, str]] = set()
+        for source in sorted(graph):
+            source_layer = _subpackage_of(source)
+            forbidden = FORBIDDEN_IMPORTS.get(source_layer)
+            if not forbidden:
+                continue
+            for target in sorted(graph[source]):
+                target_layer = _subpackage_of(target)
+                if target_layer in forbidden:
+                    lineno = edge_lines[(source, target)]
+                    # One ``from pkg.x import y`` line edges to both pkg.x
+                    # and pkg.x.y; report the layer breach once.
+                    key = (source, lineno, target_layer)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    ctx = by_module[source]
+                    yield Finding(
+                        rule=self.id,
+                        file=ctx.path,
+                        line=lineno,
+                        message=(
+                            f"layer violation: {source_layer} module {source} "
+                            f"imports {target} from the measurement layer "
+                            f"{target_layer}"
+                        ),
+                        snippet=ctx.line_text(lineno),
+                    )
+
+        for component in _strongly_connected(graph):
+            anchor = component[0]
+            successor = next(
+                (m for m in sorted(graph[anchor]) if m in component), anchor
+            )
+            lineno = edge_lines.get((anchor, successor), 1)
+            ctx = by_module[anchor]
+            cycle = " -> ".join(component + [component[0]])
+            yield Finding(
+                rule=self.id,
+                file=ctx.path,
+                line=lineno,
+                message=f"import cycle: {cycle}",
+                snippet=ctx.line_text(lineno),
+            )

@@ -1,0 +1,262 @@
+"""Per-file AST rules REP001–REP005.
+
+Each rule walks the file's AST and yields :class:`Finding` objects.  The
+rules are deliberately syntactic — no type inference — so every pattern
+they flag has a sanctioned rewrite documented in the finding message.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import AstRule, FileContext, register
+
+#: The one module allowed to construct random.Random / reseed streams raw:
+#: it *implements* derive_rng and split_rng.
+RNG_MODULE_SUFFIXES = ("sim/rng.py",)
+
+
+def _finding(rule: "AstRule", ctx: FileContext, node: ast.AST, message: str) -> Finding:
+    line = getattr(node, "lineno", 1)
+    return Finding(
+        rule=rule.id,
+        file=ctx.path,
+        line=line,
+        message=message,
+        snippet=ctx.line_text(line),
+    )
+
+
+def _is_random_random(func: ast.AST, ctx: FileContext) -> bool:
+    """Whether a call's ``func`` resolves to :class:`random.Random`."""
+    if isinstance(func, ast.Attribute) and func.attr == "Random":
+        return isinstance(func.value, ast.Name) and func.value.id == "random"
+    if isinstance(func, ast.Name):
+        return func.id in ctx.random_aliases
+    return False
+
+
+def _is_getrandbits_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "getrandbits"
+    )
+
+
+@register
+class RawSeedRule(AstRule):
+    """REP001: raw ``random.Random(...)`` construction outside sim/rng.py.
+
+    Every stream must come from ``derive_rng(seed, *path)`` (or
+    ``split_rng`` for mid-flight forks) so that the (seed, path) → stream
+    mapping is stable across processes and code growth.
+    """
+
+    id = "REP001"
+    summary = "raw random.Random construction (use derive_rng(seed, *path))"
+    allowed_path_suffixes = RNG_MODULE_SUFFIXES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_random_random(node.func, ctx):
+                continue
+            if any(_is_getrandbits_call(arg) for arg in node.args):
+                continue  # that shape is REP002's to report
+            yield _finding(
+                self,
+                ctx,
+                node,
+                "raw RNG construction; derive streams with "
+                "repro.sim.rng.derive_rng(seed, *path)",
+            )
+
+
+@register
+class AdHocSplitRule(AstRule):
+    """REP002: stream splitting via ``random.Random(rng.getrandbits(n))``.
+
+    Re-seeding from raw draws couples the child stream to the parent's
+    draw position without any path separation; ``split_rng(rng, *path)``
+    hashes in an explicit path so sibling splits stay uncorrelated.
+    """
+
+    id = "REP002"
+    summary = "ad-hoc getrandbits re-seeding (use split_rng(rng, *path))"
+    allowed_path_suffixes = RNG_MODULE_SUFFIXES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_random_random(node.func, ctx):
+                continue
+            if any(_is_getrandbits_call(arg) for arg in node.args):
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    "ad-hoc stream split via getrandbits re-seeding; use "
+                    "repro.sim.rng.split_rng(rng, *path)",
+                )
+
+
+#: (object name, attribute) pairs whose call reads the wall clock.
+_WALL_CLOCK_ATTRS = {
+    ("time", "time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+@register
+class WallClockRule(AstRule):
+    """REP003: wall-clock reads in library code.
+
+    Simulated time comes from ``repro.sim.clock.SimClock``; elapsed-runtime
+    measurement (benchmarks, progress lines) should use the monotonic
+    ``time.perf_counter()``, which this rule deliberately does not flag.
+    """
+
+    id = "REP003"
+    summary = "wall-clock call (use the sim clock, or time.perf_counter())"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from_time_aliases = {
+            name.asname or name.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "time"
+            for name in node.names
+            if name.name == "time"
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            matched = None
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name):
+                    if (base.id, func.attr) in _WALL_CLOCK_ATTRS:
+                        matched = f"{base.id}.{func.attr}()"
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "datetime"
+                    and (base.attr, func.attr) in _WALL_CLOCK_ATTRS
+                ):
+                    matched = f"datetime.{base.attr}.{func.attr}()"
+            elif isinstance(func, ast.Name) and func.id in from_time_aliases:
+                matched = f"{func.id}()"
+            if matched:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"wall-clock read {matched}; simulated time must come from "
+                    "repro.sim.clock (use time.perf_counter() for elapsed "
+                    "runtime)",
+                )
+
+
+#: Builtin exception types that must not be raised from library code.
+_FORBIDDEN_RAISES = {"ValueError", "RuntimeError", "TypeError", "KeyError"}
+
+
+@register
+class BuiltinRaiseRule(AstRule):
+    """REP004: builtin exceptions raised where a repro.errors subclass fits.
+
+    Callers catch :class:`repro.errors.ReproError` to distinguish library
+    failures from genuine bugs; builtin raises silently escape that net.
+    """
+
+    id = "REP004"
+    summary = "builtin exception raised (use the repro.errors hierarchy)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _FORBIDDEN_RAISES:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"raise {name} bypasses the repro.errors hierarchy; raise "
+                    "a ReproError subclass",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A set literal, set comprehension, or set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class SetOrderingRule(AstRule):
+    """REP005: order-sensitive consumption of an unordered set.
+
+    ``list(set(x))`` and ``for item in set(x)`` iterate in hash order,
+    which PYTHONHASHSEED perturbs for str/bytes elements; wrap the set in
+    ``sorted(...)`` before anything order-sensitive consumes it.
+    """
+
+    id = "REP005"
+    summary = "nondeterministic set ordering (wrap in sorted(...))"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and len(node.args) == 1
+                and _is_set_expr(node.args[0])
+            ):
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"{node.func.id}(set(...)) materialises hash order; use "
+                    "sorted(...) for a stable ordering",
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                node.iter
+            ):
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    "iterating a set expression in hash order; wrap it in "
+                    "sorted(...)",
+                )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                # SetComp is exempt: its result is unordered regardless.
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield _finding(
+                            self,
+                            ctx,
+                            comp.iter,
+                            "comprehension over a set expression iterates in "
+                            "hash order; wrap it in sorted(...)",
+                        )

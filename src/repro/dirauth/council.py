@@ -23,6 +23,7 @@ from repro.errors import ConsensusError
 from repro.relay.flags import RelayFlags
 from repro.relay.relay import Relay
 from repro.sim.clock import Timestamp
+from repro.sim.rng import derive_rng, split_rng
 
 DEFAULT_AUTHORITY_COUNT = 9
 
@@ -105,12 +106,12 @@ class AuthorityCouncil:
         if authority_count < 1:
             raise ConsensusError(f"need at least one authority: {authority_count}")
         self.policy = policy if policy is not None else FlagPolicy()
-        rng = rng if rng is not None else random.Random(0)
+        rng = rng if rng is not None else derive_rng(0, "dirauth", "council")
         self.authorities = [
             DirectoryAuthority(
                 authority_id=index,
                 policy=self.policy,
-                rng=random.Random(rng.getrandbits(64)),
+                rng=split_rng(rng, "authority", str(index)),
                 misreachability=misreachability,
                 bandwidth_noise=bandwidth_noise,
             )

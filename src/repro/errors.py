@@ -46,3 +46,11 @@ class ClassificationError(ReproError):
 
 class PopulationError(ReproError):
     """The synthetic hidden-service population spec is infeasible."""
+
+
+class ConfigError(ReproError):
+    """A caller-supplied parameter or configuration file is invalid."""
+
+
+class CrawlError(ReproError):
+    """A crawl-result lookup or crawl configuration failed."""

@@ -16,6 +16,7 @@ from repro.analysis.report import ExperimentReport
 from repro.client.workload import PopularityWorkload, WorkloadReport
 from repro.crypto.keys import KeyPair
 from repro.crypto.onion import OnionAddress
+from repro.errors import ConfigError
 from repro.hs.publisher import PublishScheduler
 from repro.net.address import AddressPool
 from repro.net.geoip import GeoIP
@@ -145,7 +146,7 @@ def run_table2(
     service still emits its per-2h volume at least once).
     """
     if not 0 < thinning <= 1:
-        raise ValueError(f"thinning must be in (0, 1]: {thinning}")
+        raise ConfigError(f"thinning must be in (0, 1]: {thinning}")
     if population is None:
         population = generate_population(seed=seed, scale=scale)
     else:

@@ -19,6 +19,7 @@ from repro.crypto.onion import OnionAddress, onion_address_from_key, permanent_i
 from repro.hs.descriptor import HSDescriptor, make_descriptors
 from repro.net.endpoint import SimpleHost
 from repro.sim.clock import Timestamp
+from repro.sim.rng import derive_rng
 
 if TYPE_CHECKING:  # circular: tornet imports this module
     from repro.client.guards import GuardSet
@@ -89,8 +90,11 @@ class HiddenService:
         from repro.client.guards import GuardSet
 
         if self._guards is None:
-            seed_rng = rng if rng is not None else random.Random(
-                int.from_bytes(self.keypair.fingerprint[:8], "big")
+            seed_rng = rng if rng is not None else derive_rng(
+                int.from_bytes(self.keypair.fingerprint[:8], "big"),
+                "hs",
+                "service",
+                "guards",
             )
             self._guards = GuardSet(seed_rng)
         self._guards.refresh(network.consensus, network.clock.now)

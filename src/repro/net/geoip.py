@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import NetworkError
 from repro.net.address import IPv4
+from repro.sim.rng import derive_rng
 
 # Country → relative weight among Tor clients (shape of the 2013 Tor metrics
 # directly-connecting-user statistics; exact values are not load-bearing).
@@ -87,7 +88,7 @@ class GeoIP:
             raise NetworkError("country weights must be positive")
         self._countries: List[str] = sorted(weights)
         self._weights = weights
-        rng = random.Random(seed)
+        rng = derive_rng(seed, "net", "geoip")
         blocks = list(_UNICAST_FIRST_OCTETS)
         rng.shuffle(blocks)
         # Assign /8 blocks proportionally to weight, at least one block each.

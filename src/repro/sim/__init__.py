@@ -9,7 +9,7 @@ from a single integer seed.
 
 from repro.sim.clock import SimClock, Timestamp, parse_date, format_date, DAY, HOUR, MINUTE
 from repro.sim.engine import EventEngine, Event
-from repro.sim.rng import derive_rng, derive_seed
+from repro.sim.rng import derive_rng, derive_seed, split_rng
 
 __all__ = [
     "SimClock",

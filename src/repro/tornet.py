@@ -26,6 +26,7 @@ from repro.hsdir.directory import HSDirServer, StoredDescriptor
 from repro.hsdir.ring_view import responsible_for_replica
 from repro.relay.relay import Relay
 from repro.sim.clock import HOUR, SimClock, Timestamp
+from repro.sim.rng import derive_rng
 
 
 class FetchTrace:
@@ -127,7 +128,7 @@ class TorNetwork:
         self._consensus: Optional[Consensus] = None
         self._fetch_observers: List[Callable[[FetchTrace], None]] = []
         self._publish_observers: List[Callable[[PublishTrace], None]] = []
-        self._publish_rng = random.Random(0xB0B)
+        self._publish_rng = derive_rng(0xB0B, "tornet", "publish")
 
     # ------------------------------------------------------------------ #
     # Relay management

@@ -26,6 +26,7 @@ from repro.errors import AttackError
 from repro.net.address import AddressPool
 from repro.relay.relay import Relay
 from repro.sim.clock import DAY, Timestamp
+from repro.sim.rng import derive_rng
 from repro.tornet import FetchTrace, TorNetwork
 from repro.tracking.signature import (
     SignatureDetector,
@@ -101,7 +102,7 @@ class ClientDeanonAttack:
         self.target_descriptor_ids = target_descriptor_ids
         self.signature = signature if signature is not None else TrafficSignature()
         self._detector = SignatureDetector(self.signature)
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else derive_rng(0, "tracking", "deanon")
         self.captures: List[CapturedClient] = []
         self.signatures_injected = 0
         self.target_fetches_seen = 0

@@ -23,6 +23,7 @@ from typing import FrozenSet, List, Optional, Set
 from repro.crypto.keys import Fingerprint
 from repro.crypto.onion import OnionAddress
 from repro.sim.clock import Timestamp
+from repro.sim.rng import derive_rng
 from repro.tornet import PublishTrace, TorNetwork
 from repro.tracking.signature import (
     SignatureDetector,
@@ -66,7 +67,9 @@ class ServiceDeanonAttack:
         self.target_onions = target_onions
         self.signature = signature if signature is not None else TrafficSignature()
         self._detector = SignatureDetector(self.signature)
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = (
+            rng if rng is not None else derive_rng(0, "tracking", "service_deanon")
+        )
         self.captures: List[CapturedService] = []
         self.signatures_injected = 0
         self.target_publishes_seen = 0

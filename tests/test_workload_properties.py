@@ -12,6 +12,7 @@ from repro.client.workload import (
     zipf_weights,
 )
 from repro.crypto.onion import onion_address_from_key
+from repro.errors import ConfigError
 from repro.sim.clock import DAY, HOUR
 from repro.sim.rng import derive_rng
 
@@ -103,7 +104,7 @@ class TestDiurnalProperties:
         assert sum(weights) / 24 == pytest.approx(1.0, abs=1e-9)
 
     def test_bad_amplitude_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             diurnal_weight(0, amplitude=2.0)
 
 
@@ -141,5 +142,5 @@ class TestPlanSliceProperties:
             diurnal_onions={targets[0]},
         )
         workload = PopularityWorkload(spec, derive_rng(0, "plan"))
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             workload.plan_slices(4, slice_starts=[0, HOUR])
