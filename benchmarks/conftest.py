@@ -5,6 +5,10 @@ scan→crawl→classify campaign is shared (Fig 1, Table I and Fig 2 are stages
 of one pipeline, exactly as in the paper).  Each bench writes its
 paper-vs-measured report to ``benchmarks/reports/`` so EXPERIMENTS.md can be
 refreshed from artifacts.
+
+Set ``REPRO_WORKERS=N`` (or use the ``workers`` fixture) to fan the
+parallel-safe stages out over a process pool; every report stays
+byte-identical to the serial run — only the wall-clock moves.
 """
 
 from __future__ import annotations
@@ -14,14 +18,21 @@ import pathlib
 import pytest
 
 from repro.experiments.pipeline import MeasurementPipeline
+from repro.parallel import resolve_workers
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 
 
 @pytest.fixture(scope="session")
-def full_pipeline():
+def workers():
+    """Worker count under bench: $REPRO_WORKERS, else serial."""
+    return resolve_workers(None)
+
+
+@pytest.fixture(scope="session")
+def full_pipeline(workers):
     """Full-scale (39,824-onion) scan/crawl/classify campaign."""
-    return MeasurementPipeline(seed=0, scale=1.0)
+    return MeasurementPipeline(seed=0, scale=1.0, workers=workers)
 
 
 @pytest.fixture(scope="session")

@@ -37,6 +37,16 @@ def _add_common(parser: argparse.ArgumentParser, scale_default: float = 0.1) -> 
     parser.add_argument(
         "--json", metavar="PATH", default=None, help="archive the report as JSON"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "deterministic parallel workers (default: $REPRO_WORKERS, then 1; "
+            "any value produces byte-identical output)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,11 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="check determinism & convention rules (REP001-REP006)",
+        help="check determinism & convention rules (REP001-REP007)",
         description=(
             "Static analysis over the given paths: seeded-RNG discipline, "
             "sim-clock usage, the repro.errors hierarchy, stable set "
-            "ordering, and import layering.  Exits 1 when findings remain."
+            "ordering, import layering, and raw-concurrency containment.  "
+            "Exits 1 when findings remain."
         ),
     )
     lint.add_argument(
@@ -146,7 +157,7 @@ def _emit(report: ExperimentReport, extra: str = "", json_path: Optional[str] = 
 def _run_fig1(args) -> ExperimentReport:
     from repro.experiments import run_fig1
 
-    result = run_fig1(seed=args.seed, scale=args.scale)
+    result = run_fig1(seed=args.seed, scale=args.scale, workers=args.workers)
     _emit(result.report, result.format_figure(), args.json)
     return result.report
 
@@ -154,7 +165,7 @@ def _run_fig1(args) -> ExperimentReport:
 def _run_table1(args) -> ExperimentReport:
     from repro.experiments import run_table1
 
-    result = run_table1(seed=args.seed, scale=args.scale)
+    result = run_table1(seed=args.seed, scale=args.scale, workers=args.workers)
     _emit(result.report, result.format_table(), args.json)
     return result.report
 
@@ -162,7 +173,7 @@ def _run_table1(args) -> ExperimentReport:
 def _run_fig2(args) -> ExperimentReport:
     from repro.experiments import run_fig2
 
-    result = run_fig2(seed=args.seed, scale=args.scale)
+    result = run_fig2(seed=args.seed, scale=args.scale, workers=args.workers)
     _emit(result.report, result.format_figure(), args.json)
     return result.report
 
@@ -177,6 +188,7 @@ def _run_table2(args) -> ExperimentReport:
         rotation_interval_hours=args.rotation_hours,
         relays_per_ip=args.relays_per_ip,
         thinning=args.thinning,
+        workers=args.workers,
     )
     _emit(result.report, result.ranking.format_table(limit=args.top), args.json)
     return result.report
@@ -214,7 +226,7 @@ def _run_sec6(args) -> ExperimentReport:
 def _run_sec7(args) -> ExperimentReport:
     from repro.experiments import run_sec7
 
-    result = run_sec7(seed=args.seed, scale=args.scale)
+    result = run_sec7(seed=args.seed, scale=args.scale, workers=args.workers)
     _emit(result.report, json_path=args.json)
     return result.report
 
@@ -245,7 +257,9 @@ def _run_all(args) -> ExperimentReport:
     )
     from repro.experiments.pipeline import MeasurementPipeline
 
-    pipeline = MeasurementPipeline(seed=args.seed, scale=args.scale)
+    pipeline = MeasurementPipeline(
+        seed=args.seed, scale=args.scale, workers=args.workers
+    )
     summary = ExperimentReport(experiment="all-experiments")
     stages = [
         ("fig1", lambda: run_fig1(pipeline=pipeline)),
@@ -259,10 +273,18 @@ def _run_all(args) -> ExperimentReport:
                 sweep_hours=6,
                 rotation_interval_hours=1,
                 relays_per_ip=16,
+                workers=args.workers,
             ),
         ),
         ("fig3", lambda: run_fig3(seed=args.seed, honest_relays=300, client_count=800)),
-        ("sec7", lambda: run_sec7(seed=args.seed, scale=max(0.1, args.scale * 4))),
+        (
+            "sec7",
+            lambda: run_sec7(
+                seed=args.seed,
+                scale=max(0.1, args.scale * 4),
+                workers=args.workers,
+            ),
+        ),
         (
             "harvest",
             lambda: run_harvest(

@@ -10,12 +10,13 @@ such as images, executables, etc.").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.crypto.onion import OnionAddress
 from repro.errors import CrawlError
 from repro.net.endpoint import ConnectOutcome
 from repro.net.transport import TorTransport
+from repro.parallel import pmap
 from repro.crawl.page import FetchedPage, PageKind
 from repro.population.content import strip_html
 from repro.sim.clock import Timestamp
@@ -52,12 +53,24 @@ class Crawler:
         self,
         destinations: Iterable[Tuple[OnionAddress, int]],
         when: Timestamp,
+        workers: Optional[int] = None,
     ) -> CrawlResults:
-        """Fetch every (onion, port) destination at time ``when``."""
+        """Fetch every (onion, port) destination at time ``when``.
+
+        The fetch fan-out goes through :func:`repro.parallel.pmap`; the
+        fetch closure captures the live transport (shared circuit-noise
+        stream), so the executor keeps it in-process in destination order
+        and the page list is identical at every ``workers`` value.
+        """
         results = CrawlResults()
-        for onion, port in destinations:
+
+        def fetch(destination):
+            onion, port = destination
+            return self._fetch_one(onion, port, when)
+
+        destination_list = list(destinations)
+        for page in pmap(fetch, destination_list, workers=workers):
             results.tried += 1
-            page = self._fetch_one(onion, port, when)
             if page.kind is not PageKind.DEAD:
                 results.open_at_crawl += 1
             if page.connected:

@@ -89,17 +89,38 @@ def descriptor_ids_for_window(
     order to deal with possible wrong time settings of Tor clients", then
     matched harvested request logs against the derived set.
     """
+    return [entry[0] for entry in descriptor_index_entries(onion, start, end, cookie)]
+
+
+def descriptor_index_entries(
+    onion: OnionAddress,
+    start: Timestamp,
+    end: Timestamp,
+    cookie: bytes = b"",
+) -> List[Tuple[DescriptorId, Timestamp]]:
+    """``(descriptor id, period start)`` for every (period, replica) in the window.
+
+    The batch primitive behind the Section V resolver index: one call per
+    onion yields that onion's complete ID set together with each ID's
+    validity-period start.  Pure and picklable, so the resolver can fan
+    the per-onion derivations out through :func:`repro.parallel.pmap`.
+    """
     if end < start:
         raise CryptoError(f"window end {end} before start {start}")
     permanent_id = permanent_id_from_onion(onion)
+    offset = (permanent_id[0] * DAY) // 256
     first = time_period_for(start, permanent_id)
     last = time_period_for(end, permanent_id)
-    ids: List[DescriptorId] = []
+    entries: List[Tuple[DescriptorId, Timestamp]] = []
     for period in range(first, last + 1):
+        period_start = period * DAY - offset
         for replica in range(REPLICAS):
-            ids.append(
-                hashlib.sha1(
-                    permanent_id + _secret_id_part(period, replica, cookie)
-                ).digest()
+            entries.append(
+                (
+                    hashlib.sha1(
+                        permanent_id + _secret_id_part(period, replica, cookie)
+                    ).digest(),
+                    period_start,
+                )
             )
-    return ids
+    return entries

@@ -18,6 +18,7 @@ from repro.crypto.onion import OnionAddress, permanent_id_from_onion
 from repro.detection.rules import DetectionThresholds, binomial_threshold
 from repro.dirauth.archive import ConsensusArchive
 from repro.errors import ConsensusError
+from repro.parallel import pmap
 from repro.sim.clock import DAY, Timestamp
 
 ServerKey = Tuple[int, int]  # (ip, or_port)
@@ -205,10 +206,22 @@ class TrackingAnalyzer:
         self.thresholds = thresholds if thresholds is not None else DetectionThresholds()
 
     def analyze(
-        self, onion: OnionAddress, start: Timestamp, end: Timestamp
+        self,
+        onion: OnionAddress,
+        start: Timestamp,
+        end: Timestamp,
+        workers: Optional[int] = None,
     ) -> TrackingReport:
         """Analyze the window ``[start, end]`` (the paper split 3 years
-        into yearly windows because the ring more than doubled)."""
+        into yearly windows because the ring more than doubled).
+
+        Per-period ring reconstruction is a pure read of the archive, so
+        the sweep fans out over periods through
+        :func:`repro.parallel.pmap`; the report merge walks periods in
+        chronological order, so server records and their event lists are
+        identical at every ``workers`` value.  (The closure keeps the
+        multi-gigabyte-at-scale archive in-process.)
+        """
         permanent_id = permanent_id_from_onion(onion)
         offset = (permanent_id[0] * DAY) // 256
         first_period = (int(start) + offset) // DAY
@@ -223,17 +236,15 @@ class TrackingAnalyzer:
         )
         hsdir_counts: List[int] = []
 
-        for period in range(first_period, last_period + 1):
+        def scan_period(period):
             period_start = period * DAY - offset
             consensus = self.archive.at(period_start)
             if consensus is None:
-                continue
+                return None
             ring = consensus.hsdir_ring
             if len(ring) == 0:
-                continue
-            report.periods_analyzed += 1
-            hsdir_counts.append(len(ring))
-            period_index = period - first_period
+                return None
+            events: List[Tuple] = []
             for replica in range(REPLICAS):
                 desc_id = descriptor_id(onion, period_start, replica)
                 for fingerprint in ring.responsible_for(desc_id):
@@ -246,22 +257,46 @@ class TrackingAnalyzer:
                         and period_start - first_seen
                         <= self.thresholds.fresh_fingerprint_periods * DAY
                     )
-                    record = report.servers.setdefault(
-                        entry.address, ServerRecord(server=entry.address)
-                    )
-                    record.nicknames.add(entry.nickname)
-                    record.fingerprints_used.add(fingerprint)
-                    record.events.append(
-                        ResponsibilityEvent(
-                            period_index=period_index,
-                            period_start=period_start,
-                            fingerprint=fingerprint,
-                            nickname=entry.nickname,
-                            replica=replica,
-                            ratio=ring.positioning_ratio(desc_id, fingerprint),
-                            fresh_fingerprint=fresh,
+                    events.append(
+                        (
+                            entry.address,
+                            entry.nickname,
+                            fingerprint,
+                            replica,
+                            ring.positioning_ratio(desc_id, fingerprint),
+                            fresh,
                         )
                     )
+            return len(ring), events
+
+        periods = list(range(first_period, last_period + 1))
+        for period, observed in zip(
+            periods, pmap(scan_period, periods, workers=workers)
+        ):
+            if observed is None:
+                continue
+            ring_size, events = observed
+            report.periods_analyzed += 1
+            hsdir_counts.append(ring_size)
+            period_index = period - first_period
+            period_start = period * DAY - offset
+            for address, nickname, fingerprint, replica, ratio, fresh in events:
+                record = report.servers.setdefault(
+                    address, ServerRecord(server=address)
+                )
+                record.nicknames.add(nickname)
+                record.fingerprints_used.add(fingerprint)
+                record.events.append(
+                    ResponsibilityEvent(
+                        period_index=period_index,
+                        period_start=period_start,
+                        fingerprint=fingerprint,
+                        nickname=nickname,
+                        replica=replica,
+                        ratio=ratio,
+                        fresh_fingerprint=fresh,
+                    )
+                )
         if hsdir_counts:
             report.mean_hsdir_count = sum(hsdir_counts) / len(hsdir_counts)
         return report

@@ -35,6 +35,9 @@ FORBIDDEN_IMPORTS: Dict[str, frozenset] = {
     "crypto": _MEASUREMENT_LAYERS,
     "sim": _MEASUREMENT_LAYERS,
     "net": _MEASUREMENT_LAYERS,
+    # The executor is a substrate too: measurement layers call it, never
+    # the other way around.
+    "parallel": _MEASUREMENT_LAYERS,
 }
 
 

@@ -1,4 +1,4 @@
-"""Per-file AST rules REP001–REP005.
+"""Per-file AST rules REP001–REP005 and REP007.
 
 Each rule walks the file's AST and yields :class:`Finding` objects.  The
 rules are deliberately syntactic — no type inference — so every pattern
@@ -260,3 +260,54 @@ class SetOrderingRule(AstRule):
                             "comprehension over a set expression iterates in "
                             "hash order; wrap it in sorted(...)",
                         )
+
+
+#: Top-level modules whose direct use is concurrency outside the
+#: deterministic executor.
+_CONCURRENCY_MODULES = ("multiprocessing", "concurrent")
+
+#: The one package allowed to touch process pools raw: it *implements*
+#: the deterministic shard-map executor.
+PARALLEL_PACKAGE_FRAGMENT = "repro/parallel/"
+
+
+@register
+class RawConcurrencyRule(AstRule):
+    """REP007: raw ``multiprocessing``/``concurrent.futures`` outside repro/parallel.
+
+    Ad-hoc pools reintroduce completion-order nondeterminism and unshared
+    RNG discipline; all fan-out goes through ``repro.parallel.pmap``,
+    whose sharding, per-item RNG derivation, and merge order are
+    worker-count-invariant.
+    """
+
+    id = "REP007"
+    summary = "raw concurrency primitive (use repro.parallel.pmap)"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Directory allowlist, not a suffix: every module of the executor
+        # package may use the primitives it wraps.
+        return PARALLEL_PACKAGE_FRAGMENT not in ctx.path
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            flagged = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _CONCURRENCY_MODULES:
+                        flagged = alias.name
+                        break
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in _CONCURRENCY_MODULES:
+                    flagged = node.module
+            if flagged:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"raw concurrency import {flagged!r}; fan work out "
+                    "through repro.parallel.pmap so shard order, RNG "
+                    "streams, and merges stay worker-count-invariant",
+                )

@@ -54,3 +54,7 @@ class ConfigError(ReproError):
 
 class CrawlError(ReproError):
     """A crawl-result lookup or crawl configuration failed."""
+
+
+class ParallelError(ReproError):
+    """The deterministic parallel executor was configured incorrectly."""

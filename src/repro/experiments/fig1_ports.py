@@ -47,10 +47,11 @@ def run_fig1(
     seed: int = 0,
     scale: float = 1.0,
     pipeline: Optional[MeasurementPipeline] = None,
+    workers: Optional[int] = None,
 ) -> Fig1Result:
     """Regenerate Fig 1 (and the TLS findings) at ``scale``."""
     if pipeline is None:
-        pipeline = MeasurementPipeline(seed=seed, scale=scale)
+        pipeline = MeasurementPipeline(seed=seed, scale=scale, workers=workers)
     else:
         scale = pipeline.population.spec.total_onions / 39_824
     scan = pipeline.scan()

@@ -46,10 +46,11 @@ def run_fig2(
     seed: int = 0,
     scale: float = 1.0,
     pipeline: Optional[MeasurementPipeline] = None,
+    workers: Optional[int] = None,
 ) -> Fig2Result:
     """Regenerate Fig 2 at ``scale``."""
     if pipeline is None:
-        pipeline = MeasurementPipeline(seed=seed, scale=scale)
+        pipeline = MeasurementPipeline(seed=seed, scale=scale, workers=workers)
     else:
         scale = pipeline.population.spec.total_onions / 39_824
     classifiable = pipeline.classifiable()

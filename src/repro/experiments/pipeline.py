@@ -8,6 +8,7 @@ drivers pull the stage they report on.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional, Tuple
 
 from repro.classify import (
@@ -20,6 +21,7 @@ from repro.classify import (
 from repro.crawl import ClassifiableSet, Crawler, CrawlResults, apply_exclusions
 from repro.crawl.page import FetchedPage
 from repro.net.transport import TorTransport
+from repro.parallel import pmap
 from repro.population import GeneratedPopulation, generate_population
 from repro.population.spec import PORT_SKYNET
 from repro.scan import (
@@ -32,6 +34,24 @@ from repro.scan import (
 )
 from repro.sim.clock import DAY
 from repro.sim.rng import derive_rng
+
+
+def _classify_page(
+    page: FetchedPage,
+    detector: LanguageDetector,
+    classifier: TopicClassifier,
+) -> Tuple[str, bool, Optional[str]]:
+    """(language, is-TorHost-default, topic-or-None) for one page.
+
+    Pure per page and picklable (module-level function, dict-state
+    models), so the classify stage can fan out across processes.
+    """
+    language = detector.detect(page.text)
+    if language != "en":
+        return language, False, None
+    if is_torhost_default(page.text):
+        return language, True, None
+    return language, False, classifier.classify(page.text)
 
 
 class ClassificationOutcome:
@@ -73,8 +93,12 @@ class MeasurementPipeline:
         scale: float = 1.0,
         population: Optional[GeneratedPopulation] = None,
         scan_days: int = 8,
+        workers: Optional[int] = None,
     ) -> None:
         self.seed = seed
+        #: Worker count for every stage fan-out (None → $REPRO_WORKERS → 1).
+        #: Any value yields byte-identical stages; see repro.parallel.
+        self.workers = workers
         self.population = (
             population
             if population is not None
@@ -103,7 +127,7 @@ class MeasurementPipeline:
                 start=self.population.scan_start, days=self.scan_days
             )
             self._scan = PortScanner(self.transport).run(
-                self.population.all_onions, schedule
+                self.population.all_onions, schedule, workers=self.workers
             )
         return self._scan
 
@@ -122,7 +146,9 @@ class MeasurementPipeline:
         if self._crawl is None:
             destinations = self.scan().destinations_excluding(PORT_SKYNET)
             crawler = Crawler(self.transport)
-            self._crawl = crawler.crawl(destinations, self.population.crawl_date)
+            self._crawl = crawler.crawl(
+                destinations, self.population.crawl_date, workers=self.workers
+            )
         return self._crawl
 
     def classifiable(self) -> ClassifiableSet:
@@ -132,14 +158,28 @@ class MeasurementPipeline:
         return self._classifiable
 
     def classify(self) -> ClassificationOutcome:
-        """Stage 4: language detection + topic classification."""
+        """Stage 4: language detection + topic classification.
+
+        Per-page scoring is pure, so the fan-out runs through
+        :func:`repro.parallel.pmap` (genuinely multi-process at
+        ``workers>1``); the outcome merge walks pages in crawl order, so
+        counts and first-encounter dict ordering match the serial run
+        exactly.
+        """
         if self._classification is None:
             outcome = ClassificationOutcome()
-            detector = self.language_detector
-            classifier = self.topic_classifier
-            for page in self.classifiable().pages:
+            pages = self.classifiable().pages
+            assignments = pmap(
+                functools.partial(
+                    _classify_page,
+                    detector=self.language_detector,
+                    classifier=self.topic_classifier,
+                ),
+                pages,
+                workers=self.workers,
+            )
+            for page, (language, is_default, topic) in zip(pages, assignments):
                 outcome.classified_pages += 1
-                language = detector.detect(page.text)
                 outcome.page_languages[page.destination] = language
                 outcome.language_counts[language] = (
                     outcome.language_counts.get(language, 0) + 1
@@ -147,10 +187,9 @@ class MeasurementPipeline:
                 if language != "en":
                     continue
                 outcome.english_pages += 1
-                if is_torhost_default(page.text):
+                if is_default:
                     outcome.torhost_default_count += 1
                     continue
-                topic = classifier.classify(page.text)
                 outcome.page_topics[page.destination] = topic
                 outcome.topic_counts[topic] = outcome.topic_counts.get(topic, 0) + 1
             self._classification = outcome

@@ -74,6 +74,7 @@ def run_sec7(
     scale: float = 1.0,
     config: Optional[SilkroadStudyConfig] = None,
     world: Optional[SilkroadWorld] = None,
+    workers: Optional[int] = None,
 ) -> Sec7Result:
     """Regenerate the Section VII analysis."""
     if world is None:
@@ -85,7 +86,10 @@ def run_sec7(
 
     for year, start_text, end_text in YEAR_WINDOWS:
         yearly = analyzer.analyze(
-            world.silkroad_onion, parse_date(start_text), parse_date(end_text)
+            world.silkroad_onion,
+            parse_date(start_text),
+            parse_date(end_text),
+            workers=workers,
         )
         result.yearly_reports[year] = yearly
         result.likely_by_year[year] = yearly.likely_trackers()

@@ -36,10 +36,11 @@ def run_table1(
     seed: int = 0,
     scale: float = 1.0,
     pipeline: Optional[MeasurementPipeline] = None,
+    workers: Optional[int] = None,
 ) -> Table1Result:
     """Regenerate Table I at ``scale``."""
     if pipeline is None:
-        pipeline = MeasurementPipeline(seed=seed, scale=scale)
+        pipeline = MeasurementPipeline(seed=seed, scale=scale, workers=workers)
     else:
         scale = pipeline.population.spec.total_onions / 39_824
     crawl = pipeline.crawl()

@@ -130,6 +130,7 @@ def run_table2(
     rotation_interval_hours: int = 2,
     relays_per_ip: int = 24,
     thinning: float = 1.0,
+    workers: Optional[int] = None,
 ) -> Table2Result:
     """Regenerate Table II at ``scale``.
 
@@ -204,6 +205,7 @@ def run_table2(
         sorted(harvest_result.onions),
         parse_date("2013-01-28"),
         parse_date("2013-02-08"),
+        workers=workers,
     )
     def unthinned_rate(desc_id, found, missing, validity=None):
         return (

@@ -1,0 +1,24 @@
+"""Deterministic parallel execution (the only sanctioned concurrency layer).
+
+See :mod:`repro.parallel.executor` for the contract; rule REP007 of
+``repro lint`` keeps raw ``multiprocessing`` / ``concurrent.futures`` use
+out of the rest of the tree.
+"""
+
+from repro.parallel.executor import (
+    SHARDS_PER_WORKER,
+    WORKERS_ENV,
+    item_rng,
+    pmap,
+    resolve_workers,
+    shard_bounds,
+)
+
+__all__ = [
+    "SHARDS_PER_WORKER",
+    "WORKERS_ENV",
+    "item_rng",
+    "pmap",
+    "resolve_workers",
+    "shard_bounds",
+]

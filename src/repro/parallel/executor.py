@@ -1,0 +1,198 @@
+"""Deterministic shard-map execution.
+
+``pmap(fn, items)`` is the one sanctioned way to fan work out across
+processes.  Work is partitioned into *stable shards* — contiguous,
+balanced slices whose boundaries depend only on the item count and shard
+count — and every item owns an RNG stream derived from the experiment
+seed, the caller's path, and the item's **global index**.  Because neither
+the stream derivation nor the merge order ever depends on the worker
+count, scheduling, or completion order, the output is byte-identical at
+``workers=1`` and ``workers=64``.
+
+Three execution modes, chosen automatically:
+
+- ``workers=1`` (the default, also the ``REPRO_WORKERS`` fallback): plain
+  in-process loop, zero overhead.
+- ``workers>1`` with a picklable ``fn``: shards run on a
+  :class:`concurrent.futures.ProcessPoolExecutor`; results are merged in
+  shard order, not completion order.
+- ``workers>1`` with an *unpicklable* ``fn`` (a closure over live
+  simulator state, say): the shards run serially in-process, in shard
+  order.  This degrades throughput, never correctness — which is exactly
+  the contract callers rely on: stages that must observe shared mutable
+  state (e.g. a transport with one circuit-noise stream) deliberately
+  pass closures so they stay in-process and keep their draw order.
+
+This module is the only place allowed to touch ``concurrent.futures`` /
+``multiprocessing`` directly; rule REP007 of ``repro lint`` rejects raw
+use anywhere else.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+from concurrent import futures
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ParallelError
+from repro.sim.rng import derive_rng
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Shards per worker: small enough to amortise submission overhead, large
+#: enough that one slow shard cannot idle the rest of the pool.
+SHARDS_PER_WORKER = 4
+
+#: Set in pool workers (via initializer) so nested ``pmap`` calls inside a
+#: worker degrade to in-process execution instead of forking grandchildren.
+_IN_WORKER = False
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit argument, else ``$REPRO_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ParallelError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from exc
+    if workers < 1:
+        raise ParallelError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def shard_bounds(item_count: int, shard_count: int) -> List[Tuple[int, int]]:
+    """Balanced, contiguous ``[start, stop)`` bounds partitioning the items.
+
+    Every index in ``range(item_count)`` lands in exactly one shard; shard
+    sizes differ by at most one.  The partition is a pure function of
+    ``(item_count, shard_count)`` — nothing about workers or timing.
+    """
+    if item_count < 0:
+        raise ParallelError(f"item count must be >= 0, got {item_count}")
+    if shard_count < 1:
+        raise ParallelError(f"shard count must be >= 1, got {shard_count}")
+    if item_count == 0:
+        return []
+    shard_count = min(shard_count, item_count)
+    per_shard = item_count // shard_count
+    extra = item_count % shard_count
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(shard_count):
+        size = per_shard + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def item_rng(seed: int, seed_path: Sequence[str], index: int) -> random.Random:
+    """The RNG stream owned by item ``index`` under ``(seed, seed_path)``.
+
+    A function of the seed, the path, and the item's global index only —
+    re-sharding, worker count, and completion order cannot perturb it.
+    """
+    return derive_rng(seed, *seed_path, "item", str(index))
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _run_shard(
+    fn: Callable,
+    shard_items: List[T],
+    start: int,
+    seed: Optional[int],
+    seed_path: Tuple[str, ...],
+) -> List[R]:
+    """Run one shard; module-level so the process pool can pickle it."""
+    if seed is None:
+        return [fn(item) for item in shard_items]
+    return [
+        fn(item, item_rng(seed, seed_path, start + offset))
+        for offset, item in enumerate(shard_items)
+    ]
+
+
+def _is_picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+    return True
+
+
+def _run_serial(
+    fn: Callable,
+    item_list: List[T],
+    bounds: List[Tuple[int, int]],
+    seed: Optional[int],
+    seed_path: Tuple[str, ...],
+) -> List[R]:
+    merged: List[R] = []
+    for start, stop in bounds:
+        merged.extend(_run_shard(fn, item_list[start:stop], start, seed, seed_path))
+    return merged
+
+
+def pmap(
+    fn: Callable,
+    items: Sequence[T],
+    *,
+    seed: Optional[int] = None,
+    seed_path: Sequence[str] = (),
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items`` deterministically, optionally in parallel.
+
+    Without ``seed``, calls ``fn(item)``; with a ``seed``, calls
+    ``fn(item, rng)`` where ``rng`` is :func:`item_rng` for the item's
+    global index — so every item's stream is independent of how the work
+    is sharded or scheduled.  Results always come back in item order.
+
+    ``fn`` must be independent across items (no item may read another's
+    output).  A ``fn`` that needs shared mutable in-process state should
+    be a closure: closures do not pickle, which routes them through the
+    in-process serial path regardless of ``workers``.
+    """
+    item_list = list(items)
+    worker_count = resolve_workers(workers)
+    if not item_list:
+        return []
+    path = tuple(str(element) for element in seed_path)
+    shard_count = shards if shards is not None else worker_count * SHARDS_PER_WORKER
+    bounds = shard_bounds(len(item_list), shard_count)
+    if worker_count == 1 or _IN_WORKER or len(bounds) == 1 or not _is_picklable(fn):
+        return _run_serial(fn, item_list, bounds, seed, path)
+    try:
+        with futures.ProcessPoolExecutor(
+            max_workers=min(worker_count, len(bounds)), initializer=_mark_worker
+        ) as pool:
+            pending = [
+                pool.submit(
+                    _run_shard, fn, item_list[start:stop], start, seed, path
+                )
+                for start, stop in bounds
+            ]
+            merged: List[R] = []
+            # Merge in shard-submission order; completion order is irrelevant.
+            for future in pending:
+                merged.extend(future.result())
+            return merged
+    except (pickle.PicklingError, TypeError, AttributeError, futures.BrokenExecutor):
+        # Unpicklable items/results, or a broken pool: per-item work is
+        # independent by contract, so rerunning in-process is equivalent.
+        return _run_serial(fn, item_list, bounds, seed, path)

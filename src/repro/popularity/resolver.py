@@ -14,16 +14,13 @@ descriptors that never existed.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.crypto.descriptor_id import (
-    REPLICAS,
-    DescriptorId,
-    descriptor_id,
-    time_period_for,
-)
-from repro.crypto.onion import OnionAddress, permanent_id_from_onion
+from repro.crypto.descriptor_id import DescriptorId, descriptor_index_entries
+from repro.crypto.onion import OnionAddress
+from repro.parallel import pmap
 from repro.sim.clock import DAY, Timestamp
 
 
@@ -63,6 +60,7 @@ class DescriptorResolver:
         onion_database: Iterable[OnionAddress],
         window_start: Timestamp,
         window_end: Timestamp,
+        workers: Optional[int] = None,
     ) -> None:
         """Precompute every descriptor ID each onion uses in the window.
 
@@ -70,28 +68,52 @@ class DescriptorResolver:
         replicas — exactly the paper's multi-day derivation.  Each entry
         also records the ID's *validity period* (when the service actually
         used it), which rate normalisation needs.
+
+        The per-onion SHA-1 derivations are independent, so they fan out
+        through :func:`repro.parallel.pmap` (``workers`` defaults to
+        ``$REPRO_WORKERS``, then 1); the merge walks onions in database
+        order, so the index is identical at every worker count.
+
+        Two *different* onions deriving the same descriptor ID is a SHA-1
+        collision the paper's attacker would also have suffered; instead
+        of silently overwriting (and so dropping an onion from the index),
+        the first claimant keeps the ID and every later claimant is
+        recorded in :attr:`collisions`.
         """
         self.window = (window_start, window_end)
         self._index: Dict[DescriptorId, OnionAddress] = {}
         self._validity: Dict[DescriptorId, Tuple[Timestamp, Timestamp]] = {}
-        self.database_size = 0
-        for onion in onion_database:
-            self.database_size += 1
-            permanent_id = permanent_id_from_onion(onion)
-            offset = (permanent_id[0] * DAY) // 256
-            first = time_period_for(window_start, permanent_id)
-            last = time_period_for(window_end, permanent_id)
-            for period in range(first, last + 1):
-                period_start = period * DAY - offset
-                for replica in range(REPLICAS):
-                    desc = descriptor_id(onion, period_start, replica)
-                    self._index[desc] = onion
-                    self._validity[desc] = (period_start, period_start + DAY)
+        #: descriptor ID → every onion that derived it, in database order
+        #: (first entry owns the index slot).
+        self.collisions: Dict[DescriptorId, List[OnionAddress]] = {}
+        onions = list(onion_database)
+        self.database_size = len(onions)
+        entry_lists = pmap(
+            functools.partial(
+                descriptor_index_entries, start=window_start, end=window_end
+            ),
+            onions,
+            workers=workers,
+        )
+        for onion, entries in zip(onions, entry_lists):
+            for desc, period_start in entries:
+                owner = self._index.get(desc)
+                if owner is not None:
+                    if owner != onion:
+                        self.collisions.setdefault(desc, [owner]).append(onion)
+                    continue
+                self._index[desc] = onion
+                self._validity[desc] = (period_start, period_start + DAY)
 
     @property
     def index_size(self) -> int:
         """Number of (descriptor ID → onion) entries derived."""
         return len(self._index)
+
+    @property
+    def collision_count(self) -> int:
+        """(descriptor ID, onion) claims lost to an earlier claimant."""
+        return sum(len(claimants) - 1 for claimants in self.collisions.values())
 
     def lookup(self, desc_id: DescriptorId) -> OnionAddress | None:
         """Resolve one descriptor ID, or None."""

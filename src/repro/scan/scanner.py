@@ -8,11 +8,12 @@ the paper's methodology.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.crypto.onion import OnionAddress
 from repro.net.endpoint import ConnectOutcome
 from repro.net.transport import TorTransport
+from repro.parallel import pmap
 from repro.scan.results import ScanResults
 from repro.scan.schedule import ScanSchedule
 
@@ -28,29 +29,40 @@ class PortScanner:
         onions: Iterable[OnionAddress],
         schedule: ScanSchedule,
         extra_priority_ports: Iterable[int] = (),
+        workers: Optional[int] = None,
     ) -> ScanResults:
         """Execute the full schedule.
 
         ``extra_priority_ports`` are probed *every* day on every onion (the
         paper's scanner revisited interesting ports such as 55080 after the
         anomaly was noticed); a port found open on any day stays found.
+
+        Each scan day fans its onion probes out through
+        :func:`repro.parallel.pmap`.  The probe closure captures the live
+        transport (whose circuit-noise stream is shared across probes), so
+        it is deliberately unpicklable: the executor keeps it in-process
+        and in onion order, which is what makes the results byte-identical
+        at every ``workers`` value.
         """
         onion_list: List[OnionAddress] = list(onions)
         priority = list(extra_priority_ports)
         results = ScanResults()
         results.scanned_onions = len(onion_list)
         for _day_index, when, chunk in schedule:
-            for onion in onion_list:
-                if (
-                    onion not in results.descriptor_onions
-                    and self._transport.has_descriptor(onion, when)
-                ):
-                    results.descriptor_onions.add(onion)
-                probes = self._transport.scan_ports(onion, chunk, when)
+
+            def probe_onion(onion, _when=when, _chunk=chunk):
+                has_descriptor = self._transport.has_descriptor(onion, _when)
+                probes = self._transport.scan_ports(onion, _chunk, _when)
                 if priority:
                     probes.update(
-                        self._transport.scan_ports(onion, priority, when)
+                        self._transport.scan_ports(onion, priority, _when)
                     )
+                return has_descriptor, probes
+
+            day_probes = pmap(probe_onion, onion_list, workers=workers)
+            for onion, (has_descriptor, probes) in zip(onion_list, day_probes):
+                if has_descriptor:
+                    results.descriptor_onions.add(onion)
                 for port, result in probes.items():
                     results.record(onion, port, result.outcome)
         return results

@@ -58,10 +58,22 @@ class ScanSchedule:
 
     def __iter__(self) -> Iterator[Tuple[int, Timestamp, range]]:
         """Yields (day_index, scan_time, port_range) triples."""
+        yield from self.campaign()
+
+    def campaign(self) -> List[Tuple[int, Timestamp, range]]:
+        """The whole campaign as stable (day_index, scan_time, ports) triples.
+
+        A pure function of the schedule — the fan-out plan the scanner
+        hands to :func:`repro.parallel.pmap` is the same list on every
+        run, which is half of the serial≡parallel guarantee (the other
+        half is the executor's index-stable merge).
+        """
+        plan: List[Tuple[int, Timestamp, range]] = []
         for day_index in range(self.days):
             # Scans run mid-day; the exact hour is immaterial.
             when = self.start + day_index * DAY + 12 * 3600
-            yield day_index, when, self.chunk_for_day(day_index)
+            plan.append((day_index, when, self.chunk_for_day(day_index)))
+        return plan
 
     def all_ports(self) -> List[range]:
         """Every per-day chunk (they partition the full range)."""

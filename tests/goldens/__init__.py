@@ -1,0 +1,1 @@
+"""Golden report snapshots (see cases.py and regenerate.py)."""

@@ -1,0 +1,88 @@
+"""Small-world experiment artifacts used by goldens and equivalence tests.
+
+Every builder takes a ``workers`` argument and must return **byte-identical
+text for any value of it** — that is the contract ``repro.parallel.pmap``
+provides and the one thing these cases exist to pin down.  The golden files
+in this directory are the ``workers=1`` renderings; ``regenerate.py``
+rewrites them after an intentional behaviour change.
+
+Keep the worlds tiny: these run inside tier-1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# Small-world parameters shared by the goldens and the serial≡parallel
+# equivalence tests, so the two suites cross-check the same artifacts.
+PIPELINE_SEED = 11
+PIPELINE_SCALE = 0.02
+TABLE2_SEED = 2
+TABLE2_SCALE = 0.02
+TABLE2_SWEEP_HOURS = 4
+SEC7_SEED = 6
+SEC7_SCALE = 0.1
+
+
+def pipeline_artifacts(workers: Optional[int] = None) -> dict:
+    """Fig 1 and Fig 2 artifact text off one shared scan/crawl/classify run."""
+    from repro.experiments import run_fig1, run_fig2
+    from repro.experiments.pipeline import MeasurementPipeline
+
+    pipeline = MeasurementPipeline(
+        seed=PIPELINE_SEED, scale=PIPELINE_SCALE, workers=workers
+    )
+    fig1 = run_fig1(pipeline=pipeline)
+    fig2 = run_fig2(pipeline=pipeline)
+    return {
+        "fig1_small": fig1.report.format() + "\n\n" + fig1.format_figure(),
+        "fig2_small": fig2.report.format() + "\n\n" + fig2.format_figure(),
+    }
+
+
+def table2_artifact(workers: Optional[int] = None) -> str:
+    """Table II report + ranking text for the tiny sweep."""
+    from repro.experiments import run_table2
+
+    result = run_table2(
+        seed=TABLE2_SEED,
+        scale=TABLE2_SCALE,
+        sweep_hours=TABLE2_SWEEP_HOURS,
+        rotation_interval_hours=1,
+        relays_per_ip=16,
+        workers=workers,
+    )
+    return result.report.format() + "\n\n" + result.ranking.format_table(limit=20)
+
+
+def build_sec7_world():
+    """The Silk Road consensus history; independent of the worker count."""
+    from repro.detection import SilkroadStudy, SilkroadStudyConfig
+
+    return SilkroadStudy(
+        SilkroadStudyConfig(seed=SEC7_SEED, scale=SEC7_SCALE)
+    ).build()
+
+
+def sec7_artifact(workers: Optional[int] = None, world=None) -> str:
+    """Section VII report text; pass ``world`` to amortise the build."""
+    from repro.experiments import run_sec7
+
+    if world is None:
+        world = build_sec7_world()
+    return run_sec7(world=world, workers=workers).report.format()
+
+
+#: name -> zero-argument builder for each pinned golden file.
+def _golden_fig1() -> str:
+    return pipeline_artifacts(workers=1)["fig1_small"]
+
+
+def _golden_table2() -> str:
+    return table2_artifact(workers=1)
+
+
+GOLDEN_CASES = {
+    "fig1_small": _golden_fig1,
+    "table2_small": _golden_table2,
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate the golden report snapshots in this directory.
+
+Run after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/goldens/regenerate.py
+
+Each golden is the ``workers=1`` rendering of a small-world artifact (see
+cases.py).  Review the diff before committing — a golden that moved without
+a deliberate model change means determinism broke somewhere.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.goldens.cases import GOLDEN_CASES  # noqa: E402
+
+
+def main() -> int:
+    for name, build in GOLDEN_CASES.items():
+        target = HERE / f"{name}.txt"
+        text = build()
+        target.write_text(text + "\n", encoding="utf-8")
+        print(f"[golden] wrote {target.relative_to(REPO)} ({len(text)} chars)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` static-analysis engine (REP001–REP006)."""
+"""Tests for the ``repro lint`` static-analysis engine (REP001–REP007)."""
 
 import json
 import os
@@ -246,6 +246,45 @@ class TestRep006Layering:
         findings = run_lint([str(tmp_path / "pkg")], rule_ids=["REP006"]).findings
         assert len(findings) == 1
         assert "layer violation" in findings[0].message
+
+
+class TestRep007RawConcurrency:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import multiprocessing\n",
+            "import concurrent.futures\n",
+            "from multiprocessing import Pool\n",
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "import multiprocessing.pool as mp\n",
+        ],
+    )
+    def test_flags_raw_concurrency_import(self, tmp_path, source):
+        findings = lint_source(tmp_path, source, rules=["REP007"])
+        assert len(findings) == 1
+        assert findings[0].rule == "REP007"
+        assert "repro.parallel.pmap" in findings[0].message
+
+    def test_pmap_import_is_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "from repro.parallel import pmap\n", rules=["REP007"]
+        )
+        assert findings == []
+
+    def test_unrelated_module_with_similar_prefix_is_clean(self, tmp_path):
+        # Only the top-level modules count: ``concurrently`` is not
+        # ``concurrent``.
+        findings = lint_source(
+            tmp_path, "import concurrently\n", rules=["REP007"]
+        )
+        assert findings == []
+
+    def test_parallel_package_is_allowlisted(self, tmp_path):
+        target = tmp_path / "repro" / "parallel" / "executor.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("from concurrent import futures\n")
+        findings = run_lint([str(target)], rule_ids=["REP007"]).findings
+        assert findings == []
 
 
 class TestSuppression:

@@ -1,0 +1,30 @@
+"""Golden snapshots: small-world report text pinned byte-for-byte.
+
+The determinism contract is not "the numbers are close" but "the artifact
+is the artifact": same seed, same text, on any machine, at any worker
+count.  When a golden legitimately moves (a model change), regenerate with
+``PYTHONPATH=src python tests/goldens/regenerate.py`` and review the diff.
+"""
+
+import pathlib
+
+import pytest
+
+from tests.goldens.cases import GOLDEN_CASES
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_golden_matches(name):
+    pinned = (GOLDEN_DIR / f"{name}.txt").read_text(encoding="utf-8")
+    current = GOLDEN_CASES[name]() + "\n"
+    assert current == pinned, (
+        f"golden {name!r} drifted; if the change is intentional, run "
+        "PYTHONPATH=src python tests/goldens/regenerate.py and commit the diff"
+    )
+
+
+def test_every_golden_file_has_a_case():
+    on_disk = {path.stem for path in GOLDEN_DIR.glob("*.txt")}
+    assert on_disk == set(GOLDEN_CASES)

@@ -36,6 +36,49 @@ class TestIndexConstruction:
         resolver = DescriptorResolver(make_onions(3), JAN28, FEB8)
         assert resolver.lookup(b"\x55" * 20) is None
 
+    def test_healthy_window_has_no_collisions(self):
+        resolver = DescriptorResolver(make_onions(50), JAN28, FEB8)
+        assert resolver.collisions == {}
+        assert resolver.collision_count == 0
+
+    def test_collision_recorded_first_claimant_wins(self, monkeypatch):
+        onions = make_onions(3)
+        clash = b"\xaa" * 20
+
+        def colliding_entries(onion, start, end, cookie=b""):
+            # Every onion claims the same 20-byte ID (a forged database
+            # would look exactly like this); only distinct IDs vary.
+            return [(clash, JAN28), (bytes([onions.index(onion)]) * 20, JAN28)]
+
+        monkeypatch.setattr(
+            "repro.popularity.resolver.descriptor_index_entries",
+            colliding_entries,
+        )
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        # The first claimant (input order) keeps the slot; later claimants
+        # are counted instead of silently overwriting it.
+        assert resolver.lookup(clash) == onions[0]
+        assert resolver.collisions == {clash: [onions[0], onions[1], onions[2]]}
+        assert resolver.collision_count == 2
+        assert resolver.index_size == 4  # clash + one distinct ID per onion
+
+    def test_same_onion_replica_overlap_is_not_a_collision(self, monkeypatch):
+        onions = make_onions(1)
+
+        def duplicate_entries(onion, start, end, cookie=b""):
+            # Both replicas of one onion landing on the same ID is merely
+            # redundant, not a cross-service collision.
+            return [(b"\xbb" * 20, JAN28), (b"\xbb" * 20, JAN28)]
+
+        monkeypatch.setattr(
+            "repro.popularity.resolver.descriptor_index_entries",
+            duplicate_entries,
+        )
+        resolver = DescriptorResolver(onions, JAN28, FEB8)
+        assert resolver.collisions == {}
+        assert resolver.collision_count == 0
+        assert resolver.lookup(b"\xbb" * 20) == onions[0]
+
 
 class TestResolve:
     def test_splits_resolved_and_phantom(self):
