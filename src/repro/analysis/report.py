@@ -47,6 +47,15 @@ class ExperimentReport:
         """Attach a free-form observation."""
         self.notes.append(text)
 
+    def add_failure_taxonomy(self, taxonomy, prefix: str = "") -> None:
+        """Add one row per failure category (no paper counterparts).
+
+        ``taxonomy`` is any object with ``rows() -> (label, count)`` pairs —
+        in practice :class:`repro.faults.taxonomy.FailureTaxonomy`.
+        """
+        for label, count in taxonomy.rows():
+            self.add(f"{prefix}{label}", None, count)
+
     def max_error(self) -> float:
         """Worst relative error across rows that have a paper value."""
         errors = [row.error for row in self.rows if row.error is not None]

@@ -9,7 +9,8 @@
     python -m repro fig3   --clients 2000 --guards 12
     python -m repro sec7   --scale 0.3
     python -m repro harvest --scale 0.05 --ips 20
-    python -m repro all    --scale 0.05
+    python -m repro chaos  --scale 0.02 --rates 0,0.05,0.1
+    python -m repro all    --scale 0.05 --fault-profile moderate
 
 ``--json PATH`` archives the paper-vs-measured report via :mod:`repro.io`.
 Scale 1.0 is the paper's full size; small scales run in seconds.
@@ -49,6 +50,19 @@ def _add_common(parser: argparse.ArgumentParser, scale_default: float = 0.1) -> 
     )
 
 
+def _add_fault_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-profile",
+        default=None,
+        metavar="NAME",
+        help=(
+            "fault-injection profile: none, light, moderate, heavy "
+            "(default: $REPRO_FAULTS, then none; deterministic at any "
+            "worker count)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -64,7 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
         ("table1", "Table I: HTTP(S)-connectable destinations"),
         ("fig2", "Fig 2: topic distribution + language statistics"),
     ):
-        _add_common(sub.add_parser(name, help=text))
+        command = sub.add_parser(name, help=text)
+        _add_common(command)
+        _add_fault_profile(command)
 
     table2 = sub.add_parser("table2", help="Table II: popularity ranking")
     _add_common(table2, scale_default=0.05)
@@ -102,10 +118,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     everything = sub.add_parser("all", help="run every experiment (small scale)")
     _add_common(everything, scale_default=0.05)
+    _add_fault_profile(everything)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos sweep: headline counts vs fault rate, ± retries",
+    )
+    _add_common(chaos, scale_default=0.02)
+    chaos.add_argument(
+        "--rates",
+        default="0,0.02,0.05,0.1,0.2",
+        metavar="R1,R2,...",
+        help="comma-separated fault rates to sweep",
+    )
+    chaos.add_argument("--scan-days", type=int, default=8)
 
     lint = sub.add_parser(
         "lint",
-        help="check determinism & convention rules (REP001-REP007)",
+        help="check determinism & convention rules (REP001-REP008)",
         description=(
             "Static analysis over the given paths: seeded-RNG discipline, "
             "sim-clock usage, the repro.errors hierarchy, stable set "
@@ -157,7 +187,12 @@ def _emit(report: ExperimentReport, extra: str = "", json_path: Optional[str] = 
 def _run_fig1(args) -> ExperimentReport:
     from repro.experiments import run_fig1
 
-    result = run_fig1(seed=args.seed, scale=args.scale, workers=args.workers)
+    result = run_fig1(
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        fault_profile=args.fault_profile,
+    )
     _emit(result.report, result.format_figure(), args.json)
     return result.report
 
@@ -165,7 +200,12 @@ def _run_fig1(args) -> ExperimentReport:
 def _run_table1(args) -> ExperimentReport:
     from repro.experiments import run_table1
 
-    result = run_table1(seed=args.seed, scale=args.scale, workers=args.workers)
+    result = run_table1(
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        fault_profile=args.fault_profile,
+    )
     _emit(result.report, result.format_table(), args.json)
     return result.report
 
@@ -173,8 +213,36 @@ def _run_table1(args) -> ExperimentReport:
 def _run_fig2(args) -> ExperimentReport:
     from repro.experiments import run_fig2
 
-    result = run_fig2(seed=args.seed, scale=args.scale, workers=args.workers)
+    result = run_fig2(
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        fault_profile=args.fault_profile,
+    )
     _emit(result.report, result.format_figure(), args.json)
+    return result.report
+
+
+def _run_chaos(args) -> ExperimentReport:
+    from repro.errors import FaultConfigError
+    from repro.experiments import run_chaos_sweep
+
+    try:
+        rates = [
+            float(token) for token in args.rates.split(",") if token.strip()
+        ]
+    except ValueError as exc:
+        raise FaultConfigError(
+            f"--rates must be comma-separated floats: {exc}"
+        ) from exc
+    result = run_chaos_sweep(
+        seed=args.seed,
+        scale=args.scale,
+        fault_rates=rates,
+        workers=args.workers,
+        scan_days=args.scan_days,
+    )
+    _emit(result.report, result.format_table(), args.json)
     return result.report
 
 
@@ -258,7 +326,10 @@ def _run_all(args) -> ExperimentReport:
     from repro.experiments.pipeline import MeasurementPipeline
 
     pipeline = MeasurementPipeline(
-        seed=args.seed, scale=args.scale, workers=args.workers
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        fault_profile=args.fault_profile,
     )
     summary = ExperimentReport(experiment="all-experiments")
     stages = [
@@ -357,6 +428,7 @@ _RUNNERS = {
     "fig1": _run_fig1,
     "table1": _run_table1,
     "fig2": _run_fig2,
+    "chaos": _run_chaos,
     "table2": _run_table2,
     "fig3": _run_fig3,
     "sec6": _run_sec6,

@@ -28,6 +28,7 @@ class FetchedPage:
     status: int = 0
     text: str = ""  # tag-stripped text content
     error: str = ""
+    attempts: int = 1  # connection attempts the fetch consumed (retries incl.)
 
     @property
     def destination(self) -> tuple:

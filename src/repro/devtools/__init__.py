@@ -6,7 +6,8 @@ lose — a stray ``random.Random(0)``, a ``time.time()`` leaking wall-clock
 into simulated time — so the conventions are machine-enforced:
 
 * :mod:`repro.devtools.registry` — rule registry and base classes;
-* :mod:`repro.devtools.rules` — per-file AST rules REP001–REP005;
+* :mod:`repro.devtools.rules` — per-file AST rules REP001–REP005, REP007
+  (raw concurrency) and REP008 (exception swallowing);
 * :mod:`repro.devtools.layering` — import-graph rule REP006;
 * :mod:`repro.devtools.baseline` — fingerprint baseline for adopting the
   linter on a codebase with pre-existing findings;

@@ -38,6 +38,9 @@ FORBIDDEN_IMPORTS: Dict[str, frozenset] = {
     # The executor is a substrate too: measurement layers call it, never
     # the other way around.
     "parallel": _MEASUREMENT_LAYERS,
+    # The fault plane wraps net and is consumed by measurement layers; it
+    # must never reach up into them.
+    "faults": _MEASUREMENT_LAYERS,
 }
 
 

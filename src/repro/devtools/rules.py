@@ -1,4 +1,4 @@
-"""Per-file AST rules REP001–REP005 and REP007.
+"""Per-file AST rules REP001–REP005, REP007 and REP008.
 
 Each rule walks the file's AST and yields :class:`Finding` objects.  The
 rules are deliberately syntactic — no type inference — so every pattern
@@ -310,4 +310,94 @@ class RawConcurrencyRule(AstRule):
                     f"raw concurrency import {flagged!r}; fan work out "
                     "through repro.parallel.pmap so shard order, RNG "
                     "streams, and merges stay worker-count-invariant",
+                )
+
+
+#: Packages whose job is absorbing failure: the fault/retry plane and the
+#: executor may catch broadly by design.
+_SWALLOW_EXEMPT_FRAGMENTS = ("repro/faults/", "repro/parallel/")
+
+#: Catch-all exception names a handler must not use outside exempt packages.
+_CATCH_ALL_NAMES = {"Exception", "BaseException"}
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    """The exception type names a handler catches (tuples flattened)."""
+    node = handler.type
+    if node is None:
+        return
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            yield element.id
+        elif isinstance(element, ast.Attribute):
+            yield element.attr
+
+
+def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body discards the exception without acting.
+
+    A body that is nothing but ``pass`` / ``...`` statements neither
+    re-raises, nor logs, nor substitutes a value — the failure vanishes.
+    """
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            if stmt.value.value is Ellipsis:
+                continue
+        return False
+    return True
+
+
+@register
+class ExceptionSwallowRule(AstRule):
+    """REP008: catch-all handlers / silent swallowing outside the fault plane.
+
+    A bare ``except``, ``except Exception`` or ``except BaseException``
+    erases the distinction the fault taxonomy exists to draw — transient vs
+    permanent failure — and a handler whose body is only ``pass`` erases
+    the failure entirely.  Catch a specific :class:`repro.errors.ReproError`
+    subclass and account the failure, or let it propagate.
+    """
+
+    id = "REP008"
+    summary = "catch-all or silently swallowed exception"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not any(
+            fragment in ctx.path for fragment in _SWALLOW_EXEMPT_FRAGMENTS
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    "bare except catches everything, including "
+                    "KeyboardInterrupt; name the exception type",
+                )
+                continue
+            caught = set(_caught_names(node))
+            if caught & _CATCH_ALL_NAMES:
+                wide = ", ".join(sorted(caught & _CATCH_ALL_NAMES))
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"except {wide} hides which failure occurred; catch a "
+                    "specific repro.errors subclass",
+                )
+            elif _swallows_silently(node):
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    "exception swallowed without action; account the "
+                    "failure (e.g. in a FailureTaxonomy) or let it "
+                    "propagate",
                 )

@@ -56,5 +56,20 @@ class CrawlError(ReproError):
     """A crawl-result lookup or crawl configuration failed."""
 
 
+class FaultConfigError(ConfigError):
+    """A fault-injection plan, rule, or profile is invalid."""
+
+
+class RetryExhaustedError(NetworkError):
+    """A retried network operation failed on every permitted attempt."""
+
+    def __init__(self, message: str, attempts: int = 0, last_outcome: str = ""):
+        super().__init__(message)
+        #: Connection attempts made before giving up.
+        self.attempts = attempts
+        #: ``ConnectOutcome.value`` of the final attempt, when known.
+        self.last_outcome = last_outcome
+
+
 class ParallelError(ReproError):
     """The deterministic parallel executor was configured incorrectly."""

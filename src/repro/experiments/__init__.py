@@ -15,9 +15,11 @@ from repro.experiments.fig3_geomap import run_fig3
 from repro.experiments.sec6_sellers import run_sec6
 from repro.experiments.sec7_tracking import run_sec7
 from repro.experiments.harvest import run_harvest
+from repro.experiments.chaos_sweep import run_chaos_sweep
 
 __all__ = [
     "MeasurementPipeline",
+    "run_chaos_sweep",
     "run_fig1",
     "run_table1",
     "run_fig2",

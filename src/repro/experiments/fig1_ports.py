@@ -48,10 +48,13 @@ def run_fig1(
     scale: float = 1.0,
     pipeline: Optional[MeasurementPipeline] = None,
     workers: Optional[int] = None,
+    fault_profile: Optional[str] = None,
 ) -> Fig1Result:
     """Regenerate Fig 1 (and the TLS findings) at ``scale``."""
     if pipeline is None:
-        pipeline = MeasurementPipeline(seed=seed, scale=scale, workers=workers)
+        pipeline = MeasurementPipeline(
+            seed=seed, scale=scale, workers=workers, fault_profile=fault_profile
+        )
     else:
         scale = pipeline.population.spec.total_onions / 39_824
     scan = pipeline.scan()
@@ -78,6 +81,14 @@ def run_fig1(
     report.note(
         "abnormal port-55080 errors counted as open, per Section III methodology"
     )
+    if scan.failures.total or scan.descriptor_refetches:
+        report.add_failure_taxonomy(scan.failures, prefix="scan ")
+        report.add("scan descriptor refetches", None, scan.descriptor_refetches)
+    if pipeline.fault_profile != "none":
+        report.note(
+            f"fault profile '{pipeline.fault_profile}' active; "
+            f"retries {'on' if pipeline.retry_policy else 'off'}"
+        )
     return Fig1Result(
         distribution=distribution,
         descriptors_available=len(scan.descriptor_onions),

@@ -47,10 +47,13 @@ def run_fig2(
     scale: float = 1.0,
     pipeline: Optional[MeasurementPipeline] = None,
     workers: Optional[int] = None,
+    fault_profile: Optional[str] = None,
 ) -> Fig2Result:
     """Regenerate Fig 2 at ``scale``."""
     if pipeline is None:
-        pipeline = MeasurementPipeline(seed=seed, scale=scale, workers=workers)
+        pipeline = MeasurementPipeline(
+            seed=seed, scale=scale, workers=workers, fault_profile=fault_profile
+        )
     else:
         scale = pipeline.population.spec.total_onions / 39_824
     classifiable = pipeline.classifiable()

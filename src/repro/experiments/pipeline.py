@@ -20,6 +20,13 @@ from repro.classify import (
 )
 from repro.crawl import ClassifiableSet, Crawler, CrawlResults, apply_exclusions
 from repro.crawl.page import FetchedPage
+from repro.faults import (
+    FaultPlan,
+    RetryPolicy,
+    build_fault_plan,
+    default_retry_policy,
+    wrap_transport,
+)
 from repro.net.transport import TorTransport
 from repro.parallel import pmap
 from repro.population import GeneratedPopulation, generate_population
@@ -94,6 +101,10 @@ class MeasurementPipeline:
         population: Optional[GeneratedPopulation] = None,
         scan_days: int = 8,
         workers: Optional[int] = None,
+        fault_profile: Optional[str] = None,
+        retries: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.seed = seed
         #: Worker count for every stage fan-out (None → $REPRO_WORKERS → 1).
@@ -105,10 +116,27 @@ class MeasurementPipeline:
             else generate_population(seed=seed, scale=scale)
         )
         self.scan_days = scan_days
-        self.transport = TorTransport(
-            self.population.registry,
-            derive_rng(seed, "pipeline", "transport"),
-            descriptor_available=self.population.descriptor_available,
+        # Fault plane: an explicit plan wins; otherwise the profile resolves
+        # explicit argument → $REPRO_FAULTS → "none".  With the "none"
+        # profile the plan is inert, no retry policy is installed, and the
+        # raw transport is used — byte-identical to the pre-fault pipeline.
+        if fault_plan is None:
+            fault_plan = build_fault_plan(fault_profile, seed=seed)
+        self.fault_plan = fault_plan
+        self.fault_profile = fault_plan.name
+        if retry_policy is None and retries:
+            retry_policy = default_retry_policy(
+                fault_profile if fault_plan.name == "custom" else fault_plan.name,
+                seed=seed,
+            )
+        self.retry_policy = retry_policy if retries else None
+        self.transport = wrap_transport(
+            TorTransport(
+                self.population.registry,
+                derive_rng(seed, "pipeline", "transport"),
+                descriptor_available=self.population.descriptor_available,
+            ),
+            fault_plan,
         )
         self._scan: Optional[ScanResults] = None
         self._certs: Optional[CertificateAnalysis] = None
@@ -126,9 +154,9 @@ class MeasurementPipeline:
             schedule = ScanSchedule(
                 start=self.population.scan_start, days=self.scan_days
             )
-            self._scan = PortScanner(self.transport).run(
-                self.population.all_onions, schedule, workers=self.workers
-            )
+            self._scan = PortScanner(
+                self.transport, retry_policy=self.retry_policy
+            ).run(self.population.all_onions, schedule, workers=self.workers)
         return self._scan
 
     def certificates(self) -> CertificateAnalysis:
@@ -145,7 +173,7 @@ class MeasurementPipeline:
         """Stage 2: the HTTP(S) crawl two months later (Section IV)."""
         if self._crawl is None:
             destinations = self.scan().destinations_excluding(PORT_SKYNET)
-            crawler = Crawler(self.transport)
+            crawler = Crawler(self.transport, retry_policy=self.retry_policy)
             self._crawl = crawler.crawl(
                 destinations, self.population.crawl_date, workers=self.workers
             )

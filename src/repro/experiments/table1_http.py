@@ -37,10 +37,13 @@ def run_table1(
     scale: float = 1.0,
     pipeline: Optional[MeasurementPipeline] = None,
     workers: Optional[int] = None,
+    fault_profile: Optional[str] = None,
 ) -> Table1Result:
     """Regenerate Table I at ``scale``."""
     if pipeline is None:
-        pipeline = MeasurementPipeline(seed=seed, scale=scale, workers=workers)
+        pipeline = MeasurementPipeline(
+            seed=seed, scale=scale, workers=workers, fault_profile=fault_profile
+        )
     else:
         scale = pipeline.population.spec.total_onions / 39_824
     crawl = pipeline.crawl()
@@ -53,6 +56,14 @@ def run_table1(
     report.add("destinations tried", PAPER_TRIED * scale, crawl.tried)
     report.add("open at crawl", PAPER_OPEN_AT_CRAWL * scale, crawl.open_at_crawl)
     report.add("connectable", PAPER_CONNECTED * scale, crawl.connected)
+    if crawl.failures.total:
+        report.add_failure_taxonomy(crawl.failures, prefix="crawl ")
+        report.add("crawl retry attempts", None, crawl.failures.retry_attempts)
+    if pipeline.fault_profile != "none":
+        report.note(
+            f"fault profile '{pipeline.fault_profile}' active; "
+            f"retries {'on' if pipeline.retry_policy else 'off'}"
+        )
     return Table1Result(
         rows=rows,
         tried=crawl.tried,

@@ -1,0 +1,243 @@
+"""Composable, seed-replayable fault rules.
+
+A :class:`FaultPlan` bundles fault rules and answers, for every probe the
+transport is about to make, "does a fault fire here?".  Every decision is
+drawn from an RNG stream derived from ``(plan seed, rule kind, onion,
+port, attempt)`` — never from a shared sequential stream — so the answer
+is a pure function of the probe's identity.  Re-running the pipeline, at
+any worker count and in any probe order, replays the exact same faults.
+
+The rules model the failure modes the paper's live measurement faced
+(Section III: "timeout errors we were persistently getting"; the
+39,824 → 24,511 descriptor shrinkage) as *separable* phenomena:
+
+* :class:`CircuitTimeoutFault` — circuit builds die before reaching the
+  host, optionally in periodic burst windows keyed to the sim clock (the
+  network-congestion storms long-running scans ride through).
+* :class:`DescriptorFlapFault` — a descriptor fetch fails although the
+  service is alive and publishing (a flaky HSDir answered).  Transient by
+  construction: a re-fetch re-draws.
+* :class:`HSDirOutageFault` — periodic outage windows during which an
+  affected subset of onions cannot be resolved at all; retries inside the
+  window cannot help.  Distinct from :class:`DescriptorFlapFault` exactly
+  the way Honey-Onion-style HSDir misbehaviour differs from churn.
+* :class:`TruncationFault` — the conversation dies after connect
+  (mid-transfer circuit collapse): ports still look open, content is lost.
+* :class:`SlowCircuitFault` — a slow circuit adds simulated latency,
+  eating into retry deadlines without failing outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.crypto.onion import OnionAddress
+from repro.errors import FaultConfigError
+from repro.sim.clock import Timestamp
+from repro.sim.rng import derive_rng
+
+
+def _check_rate(kind: str, name: str, rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise FaultConfigError(f"{kind}: {name} must be in [0, 1], got {rate}")
+
+
+def _check_positive(kind: str, name: str, value: int) -> None:
+    if value <= 0:
+        raise FaultConfigError(f"{kind}: {name} must be > 0, got {value}")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Base fault rule; subclasses define ``kind`` and their parameters."""
+
+    #: Stable identifier mixed into every RNG derivation for this rule.
+    kind: str = field(default="", init=False)
+
+
+@dataclass(frozen=True)
+class CircuitTimeoutFault(FaultRule):
+    """Per-probe circuit-build timeouts, with optional periodic bursts.
+
+    Outside a burst the probe fails with probability ``rate``; while
+    ``(now % burst_period) < burst_length`` it fails with ``burst_rate``.
+    """
+
+    rate: float = 0.0
+    burst_rate: float = 0.0
+    burst_period: Timestamp = 6 * 3600
+    burst_length: Timestamp = 0
+
+    kind = "circuit-timeout"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.kind, "rate", self.rate)
+        _check_rate(self.kind, "burst_rate", self.burst_rate)
+        _check_positive(self.kind, "burst_period", self.burst_period)
+        if not 0 <= self.burst_length <= self.burst_period:
+            raise FaultConfigError(
+                f"{self.kind}: burst_length must be in [0, burst_period], "
+                f"got {self.burst_length}"
+            )
+
+    def rate_at(self, now: Timestamp) -> float:
+        """The effective timeout probability at simulated time ``now``."""
+        if self.burst_length and (int(now) % self.burst_period) < self.burst_length:
+            return self.burst_rate
+        return self.rate
+
+
+@dataclass(frozen=True)
+class DescriptorFlapFault(FaultRule):
+    """A descriptor fetch fails transiently with probability ``rate``."""
+
+    rate: float = 0.0
+
+    kind = "descriptor-flap"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.kind, "rate", self.rate)
+
+
+@dataclass(frozen=True)
+class HSDirOutageFault(FaultRule):
+    """Periodic HSDir outage windows, keyed to the sim clock.
+
+    During each window — ``(now % period) < duration`` — a deterministic
+    ``affected_fraction`` of onions (drawn per onion per window index)
+    cannot be resolved at all.  Every fetch attempt inside the window
+    fails; the next window re-draws the affected set.
+    """
+
+    affected_fraction: float = 0.0
+    period: Timestamp = 24 * 3600
+    duration: Timestamp = 3600
+
+    kind = "hsdir-outage"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.kind, "affected_fraction", self.affected_fraction)
+        _check_positive(self.kind, "period", self.period)
+        if not 0 <= self.duration <= self.period:
+            raise FaultConfigError(
+                f"{self.kind}: duration must be in [0, period], got {self.duration}"
+            )
+
+    def window_of(self, now: Timestamp) -> int:
+        """The outage-window index ``now`` falls into, or -1 when outside."""
+        if self.duration and (int(now) % self.period) < self.duration:
+            return int(now) // self.period
+        return -1
+
+
+@dataclass(frozen=True)
+class TruncationFault(FaultRule):
+    """An OPEN conversation is cut mid-transfer with probability ``rate``."""
+
+    rate: float = 0.0
+
+    kind = "truncation"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.kind, "rate", self.rate)
+
+
+@dataclass(frozen=True)
+class SlowCircuitFault(FaultRule):
+    """With probability ``rate`` a circuit adds ``extra_latency`` sim-seconds."""
+
+    rate: float = 0.0
+    extra_latency: Timestamp = 30
+
+    kind = "slow-circuit"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.kind, "rate", self.rate)
+        _check_positive(self.kind, "extra_latency", self.extra_latency)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault rules in force.
+
+    Decision methods are pure functions of ``(seed, rule kind, onion,
+    port, attempt, now)``; the plan holds no mutable state and can be
+    shared freely across stages and workers.
+    """
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = ()
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise FaultConfigError(f"not a fault rule: {rule!r}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any rule can actually fire."""
+        return bool(self.rules)
+
+    def _draw(self, kind: str, *path: str) -> float:
+        return derive_rng(self.seed, "faults", kind, *path).random()
+
+    def circuit_timeout(
+        self, onion: OnionAddress, port: int, attempt: int, now: Timestamp
+    ) -> bool:
+        """Does this probe's circuit build die before reaching the host?"""
+        for rule in self.rules:
+            if not isinstance(rule, CircuitTimeoutFault):
+                continue
+            rate = rule.rate_at(now)
+            if rate and self._draw(
+                rule.kind, onion, str(port), str(attempt)
+            ) < rate:
+                return True
+        return False
+
+    def descriptor_unavailable(
+        self, onion: OnionAddress, attempt: int, now: Timestamp
+    ) -> bool:
+        """Does this descriptor fetch fail (flap or outage window)?"""
+        for rule in self.rules:
+            if isinstance(rule, DescriptorFlapFault):
+                if rule.rate and self._draw(rule.kind, onion, str(attempt)) < rule.rate:
+                    return True
+            elif isinstance(rule, HSDirOutageFault):
+                window = rule.window_of(now)
+                if window < 0 or not rule.affected_fraction:
+                    continue
+                # Per-onion, per-window draw: the whole window is out for
+                # the affected onion, however often it refetches.
+                if self._draw(rule.kind, onion, str(window)) < rule.affected_fraction:
+                    return True
+        return False
+
+    def truncates(
+        self, onion: OnionAddress, port: int, attempt: int, now: Timestamp
+    ) -> bool:
+        """Is this conversation cut mid-transfer?"""
+        for rule in self.rules:
+            if not isinstance(rule, TruncationFault):
+                continue
+            if rule.rate and self._draw(
+                rule.kind, onion, str(port), str(attempt)
+            ) < rule.rate:
+                return True
+        return False
+
+    def extra_latency(
+        self, onion: OnionAddress, port: int, attempt: int, now: Timestamp
+    ) -> Timestamp:
+        """Extra simulated seconds this probe's circuit takes."""
+        total: Timestamp = 0
+        for rule in self.rules:
+            if not isinstance(rule, SlowCircuitFault):
+                continue
+            if rule.rate and self._draw(
+                rule.kind, onion, str(port), str(attempt)
+            ) < rule.rate:
+                total += rule.extra_latency
+        return total

@@ -1,0 +1,214 @@
+"""Bounded, deterministic retry with exponential backoff.
+
+The paper's measurement treated every failed probe as final, which is why
+transient circuit timeouts translate directly into under-counted open
+ports.  :class:`RetryPolicy` encodes the obvious fix — retry what can
+recover, give up on what cannot — with the discipline this repo demands:
+
+* **Per-outcome retryability.**  TIMEOUT retries (circuits are rebuilt all
+  the time); a truncated-but-open conversation retries (the port is known
+  good, only the transfer died); REFUSED never retries (the host answered:
+  nothing is listening); UNREACHABLE earns exactly one descriptor re-fetch
+  before it is declared permanent churn.
+* **Deterministic jitter.**  Backoff jitter is drawn from
+  ``derive_rng(seed, "retry", "jitter", onion, port, attempt)`` — a pure
+  function of the probe's identity, never a shared stream — so retry
+  schedules replay byte-identically at any worker count.
+* **Sim-clock deadlines.**  Delays and injected latency advance the
+  simulated clock; an optional deadline bounds the total time a probe may
+  consume, exactly like the wall-clock budget of a week-long scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.onion import OnionAddress
+from repro.errors import FaultConfigError, RetryExhaustedError
+from repro.faults.taxonomy import FailureCategory
+from repro.net.endpoint import ConnectOutcome, ConnectResult
+from repro.sim.clock import Timestamp
+from repro.sim.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how long) to retry a failed network operation.
+
+    ``delay_before(n)`` is the pause taken before attempt ``n`` (n >= 2):
+    ``base_delay * backoff_factor ** (n - 2)``, capped at ``max_delay``,
+    then jittered by up to ``±jitter`` (a fraction).  With the default
+    ``jitter=0.25 < (backoff_factor - 1) / (backoff_factor + 1)`` the
+    jittered delays stay strictly increasing.
+    """
+
+    max_attempts: int = 3
+    base_delay: Timestamp = 2
+    backoff_factor: float = 2.0
+    max_delay: Timestamp = 600
+    jitter: float = 0.25
+    seed: int = 0
+    #: How many times an UNREACHABLE result may trigger a descriptor re-fetch.
+    descriptor_refetches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay <= 0:
+            raise FaultConfigError(f"base_delay must be > 0, got {self.base_delay}")
+        if self.backoff_factor < 1.0:
+            raise FaultConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_delay < self.base_delay:
+            raise FaultConfigError(
+                f"max_delay ({self.max_delay}) must be >= base_delay ({self.base_delay})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise FaultConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.descriptor_refetches < 0:
+            raise FaultConfigError(
+                f"descriptor_refetches must be >= 0, got {self.descriptor_refetches}"
+            )
+
+    def base_backoff(self, attempt: int) -> float:
+        """Un-jittered delay before attempt ``attempt`` (>= 2)."""
+        if attempt < 2:
+            raise FaultConfigError(f"no delay precedes attempt {attempt}")
+        return min(
+            float(self.base_delay) * self.backoff_factor ** (attempt - 2),
+            float(self.max_delay),
+        )
+
+    def delay_before(self, attempt: int, onion: OnionAddress, port: int) -> Timestamp:
+        """Jittered, whole-second delay before attempt ``attempt``.
+
+        Deterministic: the jitter draw is keyed on (onion, port, attempt),
+        so the same probe always waits the same amount.
+        """
+        base = self.base_backoff(attempt)
+        if self.jitter:
+            rng = derive_rng(
+                self.seed, "retry", "jitter", str(onion), str(port), str(attempt)
+            )
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(1, int(round(base)))
+
+    def retryable(self, result: ConnectResult) -> bool:
+        """Whether an immediate re-attempt of the same probe can help."""
+        if result.outcome is ConnectOutcome.TIMEOUT:
+            return True
+        return result.outcome is ConnectOutcome.OPEN and result.truncated
+
+
+@dataclass
+class RetryOutcome:
+    """What a retried operation ultimately produced."""
+
+    result: ConnectResult
+    attempts: int
+    #: None for a clean first-attempt success; a category otherwise.
+    category: Optional[FailureCategory]
+    #: Simulated time when the operation settled (delays + latency included).
+    finished_at: Timestamp
+
+    @property
+    def recovered(self) -> bool:
+        """True when retries turned a transient failure into a success."""
+        return self.category is FailureCategory.TRANSIENT_RECOVERED
+
+
+def connect_with_retry(
+    transport,
+    onion: OnionAddress,
+    port: int,
+    when: Timestamp,
+    policy: RetryPolicy,
+    deadline: Optional[Timestamp] = None,
+    require_success: bool = False,
+    initial: Optional[ConnectResult] = None,
+    require_conversation: bool = True,
+) -> RetryOutcome:
+    """Connect to ``onion:port``, retrying per ``policy``.
+
+    ``initial`` lets a caller who already holds a failed first-attempt
+    result (e.g. from a batched port scan) enter the loop without probing
+    again; it counts as attempt 1.  ``require_success=True`` raises
+    :class:`RetryExhaustedError` instead of returning an exhausted outcome.
+    ``require_conversation=False`` accepts a truncated-but-open result (SYN
+    scan semantics: the port is proven open, nothing more is needed).
+    """
+    now = when
+    attempts = 1
+    result = initial if initial is not None else transport.connect(onion, port, now)
+    refetches = 0
+    while True:
+        now += result.latency
+        if result.outcome.counts_as_open and (
+            not result.truncated or not require_conversation
+        ):
+            category = FailureCategory.TRANSIENT_RECOVERED if attempts > 1 else None
+            return RetryOutcome(result, attempts, category, now)
+        if result.outcome is ConnectOutcome.UNREACHABLE:
+            # One descriptor re-fetch window: if the descriptor reappears,
+            # the failure was a flap; if not, it is permanent churn.
+            if refetches >= policy.descriptor_refetches or attempts >= policy.max_attempts:
+                return RetryOutcome(result, attempts, FailureCategory.PERMANENT, now)
+            refetches += 1
+            delay = policy.delay_before(attempts + 1, onion, port)
+            if deadline is not None and now + delay > deadline:
+                return RetryOutcome(result, attempts, FailureCategory.PERMANENT, now)
+            now += delay
+            if not transport.has_descriptor(onion, now):
+                return RetryOutcome(result, attempts, FailureCategory.PERMANENT, now)
+            result = transport.connect(onion, port, now)
+            attempts += 1
+            continue
+        if not policy.retryable(result):
+            # REFUSED (or anything else definitive): the host answered.
+            return RetryOutcome(result, attempts, FailureCategory.PERMANENT, now)
+        if attempts >= policy.max_attempts:
+            if require_success:
+                raise RetryExhaustedError(
+                    f"{onion}:{port} failed after {attempts} attempts",
+                    attempts=attempts,
+                    last_outcome=result.outcome.value,
+                )
+            return RetryOutcome(result, attempts, FailureCategory.RETRIES_EXHAUSTED, now)
+        delay = policy.delay_before(attempts + 1, onion, port)
+        if deadline is not None and now + delay > deadline:
+            if require_success:
+                raise RetryExhaustedError(
+                    f"{onion}:{port} deadline exceeded after {attempts} attempts",
+                    attempts=attempts,
+                    last_outcome=result.outcome.value,
+                )
+            return RetryOutcome(result, attempts, FailureCategory.RETRIES_EXHAUSTED, now)
+        now += delay
+        result = transport.connect(onion, port, now)
+        attempts += 1
+
+
+def fetch_descriptor_with_retry(
+    transport,
+    onion: OnionAddress,
+    when: Timestamp,
+    policy: RetryPolicy,
+) -> Tuple[bool, int]:
+    """Fetch ``onion``'s descriptor, re-fetching per the policy budget.
+
+    Returns ``(found, attempts)``.  A descriptor that stays gone after the
+    re-fetch budget is permanent churn — the paper's 39,824 → 24,511
+    shrinkage — and the caller should not keep asking.
+    """
+    attempts = 1
+    now = when
+    if transport.has_descriptor(onion, now):
+        return True, attempts
+    while attempts <= policy.descriptor_refetches:
+        now += policy.delay_before(attempts + 1, onion, 0)
+        attempts += 1
+        if transport.has_descriptor(onion, now):
+            return True, attempts
+    return False, attempts

@@ -1,0 +1,154 @@
+"""Transport wrapper that injects planned faults.
+
+:class:`FaultInjectingTransport` sits between the measurement pipeline and
+the real :class:`~repro.net.transport.TorTransport`, exposing the same
+``connect`` / ``scan_ports`` / ``has_descriptor`` interface.  Consumers
+cannot tell the difference — which is the point: the scanner, crawler and
+resolver exercise their retry paths against faults exactly as they would
+against a misbehaving live network.
+
+Every injected fault is decided by the :class:`~repro.faults.plan.FaultPlan`
+from an RNG stream keyed on ``(onion, port, attempt)``.  The wrapper's only
+mutable state is the per-endpoint attempt counters that feed those keys;
+because the pipeline probes endpoints in a deterministic order (and retries
+are sequenced by the retry layer), the counters — and therefore every fault
+draw — replay identically at any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Collection, Dict, Tuple
+
+from repro.crypto.onion import OnionAddress
+from repro.faults.plan import FaultPlan
+from repro.net.endpoint import ConnectOutcome, ConnectResult
+from repro.sim.clock import Timestamp
+
+
+class FaultInjectingTransport:
+    """Wraps a transport, injecting faults per a :class:`FaultPlan`.
+
+    Args:
+        inner: the transport doing the real (simulated) work.
+        plan: which faults fire, keyed by (onion, port, attempt).
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        #: Probes answered by an injected fault instead of the inner transport.
+        self.injected = 0
+        self._probe_attempts: Dict[Tuple[OnionAddress, int], int] = {}
+        self._fetch_attempts: Dict[OnionAddress, int] = {}
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The fault plan in force."""
+        return self._plan
+
+    @property
+    def attempts(self) -> int:
+        """Connection attempts observed, including fault-answered ones."""
+        return self._inner.attempts + self.injected
+
+    def _next_probe(self, onion: OnionAddress, port: int) -> int:
+        key = (onion, port)
+        attempt = self._probe_attempts.get(key, 0) + 1
+        self._probe_attempts[key] = attempt
+        return attempt
+
+    def _next_fetch(self, onion: OnionAddress) -> int:
+        attempt = self._fetch_attempts.get(onion, 0) + 1
+        self._fetch_attempts[onion] = attempt
+        return attempt
+
+    def has_descriptor(self, onion: OnionAddress, now: Timestamp) -> bool:
+        """Like the inner transport, but a planned flap/outage hides it."""
+        attempt = self._next_fetch(onion)
+        if self._plan.descriptor_unavailable(onion, attempt, now):
+            return False
+        return self._inner.has_descriptor(onion, now)
+
+    def _post_process(
+        self,
+        result: ConnectResult,
+        onion: OnionAddress,
+        port: int,
+        attempt: int,
+        now: Timestamp,
+    ) -> ConnectResult:
+        """Apply conversation-layer faults to a delegated result."""
+        extra = self._plan.extra_latency(onion, port, attempt, now)
+        truncate = result.outcome is ConnectOutcome.OPEN and self._plan.truncates(
+            onion, port, attempt, now
+        )
+        if not extra and not truncate:
+            return result
+        if truncate:
+            return dataclasses.replace(
+                result,
+                truncated=True,
+                banner=result.banner[: len(result.banner) // 2],
+                error_message="connection reset mid-transfer (injected)",
+                latency=result.latency + extra,
+            )
+        return dataclasses.replace(result, latency=result.latency + extra)
+
+    def connect(self, onion: OnionAddress, port: int, now: Timestamp) -> ConnectResult:
+        """Attempt a connection, subject to the fault plan."""
+        attempt = self._next_probe(onion, port)
+        # A connect implies a descriptor fetch; a flap or outage window makes
+        # the service look gone even though the inner host may be fine.
+        if self._plan.descriptor_unavailable(onion, self._next_fetch(onion), now):
+            self.injected += 1
+            return ConnectResult(
+                outcome=ConnectOutcome.UNREACHABLE,
+                port=port,
+                error_message="descriptor fetch failed (injected)",
+            )
+        if self._plan.circuit_timeout(onion, port, attempt, now):
+            self.injected += 1
+            return ConnectResult(
+                outcome=ConnectOutcome.TIMEOUT,
+                port=port,
+                error_message="circuit build timeout (injected)",
+            )
+        result = self._inner.connect(onion, port, now)
+        return self._post_process(result, onion, port, attempt, now)
+
+    def scan_ports(
+        self, onion: OnionAddress, ports: Collection[int], now: Timestamp
+    ) -> Dict[int, ConnectResult]:
+        """Batch-scan with per-probe faults applied to each answered port.
+
+        A descriptor fault makes the whole host invisible — ``{}``, the same
+        ambiguous answer an offline host gives.  Ports the inner scan
+        answered are then individually subject to circuit-timeout,
+        truncation and latency faults, in sorted port order so the keyed
+        attempt counters advance identically on every run.
+        """
+        if self._plan.descriptor_unavailable(onion, self._next_fetch(onion), now):
+            return {}
+        inner_results = self._inner.scan_ports(onion, ports, now)
+        results: Dict[int, ConnectResult] = {}
+        for port in sorted(inner_results):
+            attempt = self._next_probe(onion, port)
+            if self._plan.circuit_timeout(onion, port, attempt, now):
+                results[port] = ConnectResult(
+                    outcome=ConnectOutcome.TIMEOUT,
+                    port=port,
+                    error_message="circuit build timeout (injected)",
+                )
+                continue
+            results[port] = self._post_process(
+                inner_results[port], onion, port, attempt, now
+            )
+        return results
+
+
+def wrap_transport(inner, plan: FaultPlan):
+    """Wrap ``inner`` when ``plan`` has active rules; pass through otherwise."""
+    if not plan.active:
+        return inner
+    return FaultInjectingTransport(inner, plan)

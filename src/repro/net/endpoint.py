@@ -49,18 +49,27 @@ class ConnectOutcome(enum.Enum):
 
 @dataclass
 class ConnectResult:
-    """Outcome of one connection attempt."""
+    """Outcome of one connection attempt.
+
+    ``truncated`` marks an OPEN connection whose conversation died partway
+    through (the circuit collapsed mid-transfer): the port still counts as
+    open to a SYN scan, but no complete application-layer exchange happened.
+    ``latency`` is the extra simulated seconds the circuit took beyond the
+    nominal build time; retry deadlines account for it.
+    """
 
     outcome: ConnectOutcome
     port: int
     banner: str = ""
     error_message: str = ""
     endpoint: Optional["ServiceEndpoint"] = None
+    truncated: bool = False
+    latency: Timestamp = 0
 
     @property
     def ok(self) -> bool:
         """True when an application-layer conversation is possible."""
-        return self.outcome is ConnectOutcome.OPEN
+        return self.outcome is ConnectOutcome.OPEN and not self.truncated
 
 
 @dataclass

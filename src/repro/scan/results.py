@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
 from repro.crypto.onion import OnionAddress
+from repro.faults.taxonomy import FailureTaxonomy
 from repro.net.endpoint import ConnectOutcome
 
 # The named bins of Fig 1, in the paper's order (top of the chart first).
@@ -51,6 +52,11 @@ class ScanResults:
     )
     timeouts: int = 0
     probes_answered: int = 0
+    # Retry accounting: how probe failures were ultimately classified, and
+    # how many extra descriptor fetches the retry layer spent.  Both stay
+    # zero when the scanner runs without a retry policy.
+    failures: FailureTaxonomy = field(default_factory=FailureTaxonomy)
+    descriptor_refetches: int = 0
 
     def record(self, onion: OnionAddress, port: int, outcome: ConnectOutcome) -> None:
         """Account one non-refused probe result."""

@@ -11,6 +11,12 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from repro.crypto.onion import OnionAddress
+from repro.faults.retry import (
+    RetryPolicy,
+    connect_with_retry,
+    fetch_descriptor_with_retry,
+)
+from repro.faults.taxonomy import FailureCategory
 from repro.net.endpoint import ConnectOutcome
 from repro.net.transport import TorTransport
 from repro.parallel import pmap
@@ -19,10 +25,22 @@ from repro.scan.schedule import ScanSchedule
 
 
 class PortScanner:
-    """Scans a harvested onion list through the simulated Tor transport."""
+    """Scans a harvested onion list through the simulated Tor transport.
 
-    def __init__(self, transport: TorTransport) -> None:
+    With a :class:`RetryPolicy`, timed-out port probes are retried (a SYN
+    scan needs only proof the port is open, so truncated conversations are
+    accepted as-is) and a missing descriptor earns a bounded re-fetch; each
+    retried probe lands in :attr:`ScanResults.failures`.  Without a policy
+    the scanner behaves exactly as before: every failure is final.
+    """
+
+    def __init__(
+        self,
+        transport: TorTransport,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self._transport = transport
+        self._retry_policy = retry_policy
 
     def run(
         self,
@@ -46,23 +64,57 @@ class PortScanner:
         """
         onion_list: List[OnionAddress] = list(onions)
         priority = list(extra_priority_ports)
+        policy = self._retry_policy
         results = ScanResults()
         results.scanned_onions = len(onion_list)
         for _day_index, when, chunk in schedule:
 
             def probe_onion(onion, _when=when, _chunk=chunk):
-                has_descriptor = self._transport.has_descriptor(onion, _when)
+                if policy is None:
+                    has_descriptor = self._transport.has_descriptor(onion, _when)
+                    fetch_attempts = 1
+                else:
+                    has_descriptor, fetch_attempts = fetch_descriptor_with_retry(
+                        self._transport, onion, _when, policy
+                    )
                 probes = self._transport.scan_ports(onion, _chunk, _when)
                 if priority:
                     probes.update(
                         self._transport.scan_ports(onion, priority, _when)
                     )
-                return has_descriptor, probes
+                retried = []
+                if policy is not None:
+                    # A SYN scan retries only timeouts: REFUSED never makes
+                    # it into the batch, truncation is conversation-layer.
+                    for port in sorted(probes):
+                        if probes[port].outcome is not ConnectOutcome.TIMEOUT:
+                            continue
+                        outcome = connect_with_retry(
+                            self._transport,
+                            onion,
+                            port,
+                            _when,
+                            policy,
+                            initial=probes[port],
+                            require_conversation=False,
+                        )
+                        probes[port] = outcome.result
+                        retried.append((outcome.category, outcome.attempts))
+                return has_descriptor, fetch_attempts, probes, retried
 
             day_probes = pmap(probe_onion, onion_list, workers=workers)
-            for onion, (has_descriptor, probes) in zip(onion_list, day_probes):
+            for onion, (has_descriptor, fetch_attempts, probes, retried) in zip(
+                onion_list, day_probes
+            ):
                 if has_descriptor:
                     results.descriptor_onions.add(onion)
+                    if fetch_attempts > 1:
+                        results.failures.record(
+                            FailureCategory.TRANSIENT_RECOVERED, fetch_attempts
+                        )
+                results.descriptor_refetches += fetch_attempts - 1
+                for category, attempts in retried:
+                    results.failures.record(category, attempts)
                 for port, result in probes.items():
                     results.record(onion, port, result.outcome)
         return results

@@ -30,8 +30,16 @@ def small_population():
 
 @pytest.fixture(scope="session")
 def small_pipeline(small_population):
-    """Scan+crawl+classify pipeline over the small world (lazy stages)."""
-    return MeasurementPipeline(seed=11, population=small_population)
+    """Scan+crawl+classify pipeline over the small world (lazy stages).
+
+    Pinned to the fault-free profile: the tests built on this fixture
+    check measurement tolerances, and must mean the same thing when CI
+    exports ``REPRO_FAULTS``.  Faulted behaviour has its own fixtures,
+    goldens and equivalence tests.
+    """
+    return MeasurementPipeline(
+        seed=11, population=small_population, fault_profile="none"
+    )
 
 
 @pytest.fixture(scope="session")

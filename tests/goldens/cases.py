@@ -17,6 +17,8 @@ from typing import Optional
 # equivalence tests, so the two suites cross-check the same artifacts.
 PIPELINE_SEED = 11
 PIPELINE_SCALE = 0.02
+#: Named profile pinned by the faulted golden/equivalence cases.
+FAULTED_PROFILE = "moderate"
 TABLE2_SEED = 2
 TABLE2_SCALE = 0.02
 TABLE2_SWEEP_HOURS = 4
@@ -24,13 +26,22 @@ SEC7_SEED = 6
 SEC7_SCALE = 0.1
 
 
-def pipeline_artifacts(workers: Optional[int] = None) -> dict:
-    """Fig 1 and Fig 2 artifact text off one shared scan/crawl/classify run."""
+def pipeline_artifacts(
+    workers: Optional[int] = None, fault_profile: str = "none"
+) -> dict:
+    """Fig 1 and Fig 2 artifact text off one shared scan/crawl/classify run.
+
+    The profile is pinned explicitly (never read from ``REPRO_FAULTS``) so
+    the goldens mean the same bytes no matter what environment CI exports.
+    """
     from repro.experiments import run_fig1, run_fig2
     from repro.experiments.pipeline import MeasurementPipeline
 
     pipeline = MeasurementPipeline(
-        seed=PIPELINE_SEED, scale=PIPELINE_SCALE, workers=workers
+        seed=PIPELINE_SEED,
+        scale=PIPELINE_SCALE,
+        workers=workers,
+        fault_profile=fault_profile,
     )
     fig1 = run_fig1(pipeline=pipeline)
     fig2 = run_fig2(pipeline=pipeline)
@@ -38,6 +49,11 @@ def pipeline_artifacts(workers: Optional[int] = None) -> dict:
         "fig1_small": fig1.report.format() + "\n\n" + fig1.format_figure(),
         "fig2_small": fig2.report.format() + "\n\n" + fig2.format_figure(),
     }
+
+
+def faulted_pipeline_artifacts(workers: Optional[int] = None) -> dict:
+    """The same artifacts with the ``moderate`` fault profile and retries on."""
+    return pipeline_artifacts(workers=workers, fault_profile=FAULTED_PROFILE)
 
 
 def table2_artifact(workers: Optional[int] = None) -> str:
@@ -78,11 +94,16 @@ def _golden_fig1() -> str:
     return pipeline_artifacts(workers=1)["fig1_small"]
 
 
+def _golden_fig1_faulted() -> str:
+    return faulted_pipeline_artifacts(workers=1)["fig1_small"]
+
+
 def _golden_table2() -> str:
     return table2_artifact(workers=1)
 
 
 GOLDEN_CASES = {
     "fig1_small": _golden_fig1,
+    "fig1_small_faulted": _golden_fig1_faulted,
     "table2_small": _golden_table2,
 }

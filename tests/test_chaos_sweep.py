@@ -1,0 +1,41 @@
+"""Smoke test for the chaos sweep: degrade gracefully, recover by retrying."""
+
+from repro.experiments.chaos_sweep import chaos_plan, run_chaos_sweep
+
+
+class TestChaosSweep:
+    def test_sweep_shape_and_recovery(self):
+        result = run_chaos_sweep(
+            seed=3, scale=0.01, fault_rates=(0.0, 0.2), scan_days=2
+        )
+        assert [point.rate for point in result.points] == [0.0, 0.2]
+        baseline, faulted = result.points
+
+        # Zero faults: retries change nothing, and nothing is recovered.
+        assert baseline.open_no_retry == baseline.open_retry
+        assert baseline.transient_recovered == 0
+
+        # Heavy faults: the headline count degrades without retries and
+        # retries claw some of it back.
+        assert faulted.open_no_retry < baseline.open_no_retry
+        assert faulted.open_retry > faulted.open_no_retry
+        assert faulted.classified_retry >= faulted.classified_no_retry
+        assert faulted.transient_recovered > 0
+
+        text = result.report.format()
+        assert "chaos" in text
+        table = result.format_table()
+        assert "20%" in table
+
+    def test_sweep_is_deterministic(self):
+        runs = [
+            run_chaos_sweep(seed=3, scale=0.01, fault_rates=(0.1,), scan_days=2)
+            for _ in range(2)
+        ]
+        assert runs[0].points == runs[1].points
+
+    def test_chaos_plan_is_named_and_active(self):
+        plan = chaos_plan(0.1, seed=4)
+        assert plan.active
+        assert plan.name == "chaos-0.1"
+        assert not chaos_plan(0.0).active

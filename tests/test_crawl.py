@@ -1,9 +1,12 @@
 """Tests for repro.crawl — crawler, page model, exclusion funnel."""
 
+import pytest
+
 from repro.crawl import apply_exclusions
 from repro.crawl.crawler import Crawler, CrawlResults
 from repro.crawl.filters import MIN_WORDS, destinations_summary
 from repro.crawl.page import FetchedPage, PageKind
+from repro.errors import CrawlError
 from repro.net.transport import TorTransport
 from repro.population.spec import PORT_SKYNET
 from repro.sim.rng import derive_rng
@@ -24,6 +27,36 @@ class TestFetchedPage:
         assert make_page(kind=PageKind.BANNER).connected
         assert not make_page(kind=PageKind.DEAD).connected
         assert not make_page(kind=PageKind.NO_RESPONSE).connected
+
+
+class TestPageIndex:
+    def test_page_for_uses_the_index(self):
+        results = CrawlResults()
+        first = make_page(text="first")
+        results.add_page(first)
+        assert results.page_for(first.onion, first.port) is first
+
+    def test_first_page_wins_for_a_duplicate_destination(self):
+        results = CrawlResults()
+        first = make_page(text="first")
+        second = make_page(text="second")
+        results.add_page(first)
+        results.add_page(second)
+        assert results.page_for(first.onion, first.port) is first
+
+    def test_direct_appends_are_picked_up_lazily(self):
+        # The exclusion funnel builds CrawlResults by appending to .pages
+        # directly; page_for must rebuild its index and still find them.
+        results = CrawlResults(pages=[make_page(text="seeded")])
+        assert results.page_for("a" * 16 + ".onion", 80).text == "seeded"
+        late = make_page(onion="b" * 16 + ".onion", text="late")
+        results.pages.append(late)
+        assert results.page_for(late.onion, late.port) is late
+
+    def test_unknown_destination_raises(self):
+        results = CrawlResults(pages=[make_page()])
+        with pytest.raises(CrawlError):
+            results.page_for("c" * 16 + ".onion", 443)
 
 
 class TestExclusionFunnel:

@@ -287,6 +287,68 @@ class TestRep007RawConcurrency:
         assert findings == []
 
 
+class TestRep008ExceptionSwallow:
+    def test_flags_bare_except(self, tmp_path):
+        source = """
+        try:
+            probe()
+        except:
+            handle()
+        """
+        findings = lint_source(tmp_path, source, rules=["REP008"])
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    @pytest.mark.parametrize("exc", ["Exception", "BaseException"])
+    def test_flags_catch_all(self, tmp_path, exc):
+        source = f"""
+        try:
+            probe()
+        except {exc} as err:
+            log(err)
+        """
+        findings = lint_source(tmp_path, source, rules=["REP008"])
+        assert len(findings) == 1
+        assert "repro.errors" in findings[0].message
+
+    def test_flags_catch_all_inside_a_tuple(self, tmp_path):
+        source = """
+        try:
+            probe()
+        except (OSError, Exception):
+            handle()
+        """
+        findings = lint_source(tmp_path, source, rules=["REP008"])
+        assert len(findings) == 1
+
+    def test_flags_silent_swallow_of_a_typed_exception(self, tmp_path):
+        source = """
+        try:
+            probe()
+        except NetworkError:
+            pass
+        """
+        findings = lint_source(tmp_path, source, rules=["REP008"])
+        assert len(findings) == 1
+        assert "swallowed" in findings[0].message
+
+    def test_typed_and_handled_is_clean(self, tmp_path):
+        source = """
+        try:
+            probe()
+        except NetworkError as err:
+            taxonomy.record(err)
+        """
+        assert lint_source(tmp_path, source, rules=["REP008"]) == []
+
+    def test_fault_plane_is_exempt(self, tmp_path):
+        target = tmp_path / "repro" / "faults" / "transport.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("try:\n    probe()\nexcept Exception:\n    pass\n")
+        findings = run_lint([str(target)], rule_ids=["REP008"]).findings
+        assert findings == []
+
+
 class TestSuppression:
     def test_inline_disable_specific_rule(self, tmp_path):
         report_src = (

@@ -7,6 +7,7 @@ import pytest
 from repro.errors import NetworkError
 from repro.net.endpoint import (
     ConnectOutcome,
+    ConnectResult,
     ServiceEndpoint,
     SimpleHost,
 )
@@ -29,6 +30,22 @@ class TestConnectOutcome:
         assert not outcome.counts_as_open
 
 
+class TestConnectResult:
+    def test_truncated_open_is_not_ok(self):
+        # The port counts as open to a SYN scan, but no conversation happened.
+        result = ConnectResult(
+            outcome=ConnectOutcome.OPEN, port=80, truncated=True
+        )
+        assert result.outcome.counts_as_open
+        assert not result.ok
+
+    def test_defaults_are_clean(self):
+        result = ConnectResult(outcome=ConnectOutcome.OPEN, port=80)
+        assert not result.truncated
+        assert result.latency == 0
+        assert result.ok
+
+
 class TestServiceEndpoint:
     def test_plain_open(self):
         endpoint = ServiceEndpoint(port=80, banner="hi")
@@ -48,6 +65,24 @@ class TestServiceEndpoint:
         endpoint = ServiceEndpoint(port=80, timeout_probability=1.0)
         result = endpoint.connect(random.Random(0))
         assert result.outcome is ConnectOutcome.TIMEOUT
+        assert result.error_message == "connection timed out"
+        assert not result.outcome.counts_as_open
+
+    def test_timeout_probability_zero_never_times_out(self):
+        endpoint = ServiceEndpoint(port=80, timeout_probability=0.0)
+        for seed in range(20):
+            result = endpoint.connect(random.Random(seed))
+            assert result.outcome is ConnectOutcome.OPEN
+
+    def test_timeout_probability_follows_the_rng_draw(self):
+        # The first draw of Random(0) is ~0.844: above 0.5 the endpoint
+        # answers, at a higher threshold the same draw times out.
+        draw = random.Random(0).random()
+        endpoint = ServiceEndpoint(port=80, timeout_probability=0.5)
+        assert draw > 0.5
+        assert endpoint.connect(random.Random(0)).outcome is ConnectOutcome.OPEN
+        flaky = ServiceEndpoint(port=80, timeout_probability=min(1.0, draw + 0.01))
+        assert flaky.connect(random.Random(0)).outcome is ConnectOutcome.TIMEOUT
 
     def test_port_range_validated(self):
         with pytest.raises(NetworkError):
@@ -58,6 +93,8 @@ class TestServiceEndpoint:
     def test_timeout_probability_validated(self):
         with pytest.raises(NetworkError):
             ServiceEndpoint(port=80, timeout_probability=1.5)
+        with pytest.raises(NetworkError):
+            ServiceEndpoint(port=80, timeout_probability=-0.1)
 
 
 class TestSimpleHost:

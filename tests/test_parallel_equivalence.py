@@ -16,6 +16,7 @@ from repro.popularity.resolver import DescriptorResolver
 from repro.sim.clock import parse_date
 from tests.goldens.cases import (
     build_sec7_world,
+    faulted_pipeline_artifacts,
     pipeline_artifacts,
     sec7_artifact,
     table2_artifact,
@@ -76,3 +77,32 @@ class TestExperimentEquivalence:
             for workers in WORKER_COUNTS
         }
         assert len(texts) == 1, "sec7 report differs across worker counts"
+
+
+class TestFaultedEquivalence:
+    """Determinism survives fault injection: every injected timeout, flap
+    and truncation is drawn from a stream keyed on (onion, port, attempt),
+    so a faulted run is just as worker-count-invariant as a clean one."""
+
+    def test_faulted_fig1_and_fig2_byte_identical(self):
+        runs = [
+            faulted_pipeline_artifacts(workers=workers)
+            for workers in WORKER_COUNTS
+        ]
+        for name in ("fig1_small", "fig2_small"):
+            texts = {run[name] for run in runs}
+            assert len(texts) == 1, (
+                f"faulted {name} differs across worker counts"
+            )
+
+    def test_faulted_run_is_repeatable(self):
+        first = faulted_pipeline_artifacts(workers=2)
+        second = faulted_pipeline_artifacts(workers=2)
+        assert first == second, "same seed + profile must replay identically"
+
+    def test_faults_actually_fired(self):
+        clean = pipeline_artifacts(workers=1)["fig1_small"]
+        faulted = faulted_pipeline_artifacts(workers=1)["fig1_small"]
+        assert clean != faulted, "moderate profile should perturb the artifact"
+        assert "transient recovered" in faulted
+        assert "fault profile 'moderate' active" in faulted
