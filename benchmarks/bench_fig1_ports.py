@@ -1,6 +1,6 @@
 """Bench: regenerate Fig 1 (open-ports distribution) + §III TLS findings."""
 
-from conftest import save_report
+from conftest import record_phase_timings, save_report, save_span_report
 
 from repro.experiments import run_fig1
 
@@ -11,6 +11,8 @@ def test_fig1_open_ports(benchmark, full_pipeline, report_dir):
     )
     text = result.report.format() + "\n\n" + result.format_figure()
     save_report(report_dir, "fig1_ports", text)
+    save_span_report(report_dir, "fig1_ports", full_pipeline.observer)
+    record_phase_timings(benchmark, full_pipeline.observer)
 
     benchmark.extra_info["total_open_ports"] = result.distribution.total_open
     benchmark.extra_info["max_rel_error"] = round(result.report.max_error(), 4)

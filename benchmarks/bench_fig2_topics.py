@@ -1,6 +1,6 @@
 """Bench: regenerate Fig 2 (topic distribution) + §IV language stats."""
 
-from conftest import save_report
+from conftest import record_phase_timings, save_report, save_span_report
 
 from repro.analysis.stats import l1_distance, share_table
 from repro.experiments import run_fig2
@@ -13,6 +13,10 @@ def test_fig2_topic_distribution(benchmark, full_pipeline, report_dir):
     )
     text = result.report.format() + "\n\n" + result.format_figure()
     save_report(report_dir, "fig2_topics", text)
+    # fig2 runs last of the shared pipeline's stages: its span report shows
+    # the whole campaign (scan, certificates, crawl, classify).
+    save_span_report(report_dir, "fig2_topics", full_pipeline.observer)
+    record_phase_timings(benchmark, full_pipeline.observer)
 
     outcome = result.outcome
     benchmark.extra_info["english_fraction"] = round(outcome.english_fraction, 4)

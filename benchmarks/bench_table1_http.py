@@ -1,6 +1,6 @@
 """Bench: regenerate Table I (HTTP/HTTPS-connectable destinations)."""
 
-from conftest import save_report
+from conftest import record_phase_timings, save_report
 
 from repro.experiments import run_table1
 
@@ -11,6 +11,7 @@ def test_table1_http_access(benchmark, full_pipeline, report_dir):
     )
     text = result.report.format() + "\n\n" + result.format_table()
     save_report(report_dir, "table1_http", text)
+    record_phase_timings(benchmark, full_pipeline.observer)
 
     benchmark.extra_info["connected"] = result.connected
     rows = dict(result.rows)

@@ -45,3 +45,23 @@ def save_report(report_dir: pathlib.Path, name: str, text: str) -> None:
     """Persist a report artifact and echo it for -s runs."""
     (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n")
+
+
+def save_span_report(report_dir: pathlib.Path, name: str, observer) -> None:
+    """Persist the pipeline's per-phase span-timing tree (simulated time).
+
+    The tree shows where the campaign's simulated seconds went (the scan's
+    eight days, the crawl's connect latencies) — the deterministic
+    complement to the benchmark's wall-clock numbers.
+    """
+    from repro.obs import render_spans
+
+    text = render_spans(observer)
+    (report_dir / f"{name}_spans.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+
+
+def record_phase_timings(benchmark, observer) -> None:
+    """Attach each top-level span's simulated duration as extra_info."""
+    for span in observer.spans:
+        benchmark.extra_info[f"sim_seconds[{span.name}]"] = span.duration

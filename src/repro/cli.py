@@ -11,8 +11,11 @@
     python -m repro harvest --scale 0.05 --ips 20
     python -m repro chaos  --scale 0.02 --rates 0,0.05,0.1
     python -m repro all    --scale 0.05 --fault-profile moderate
+    python -m repro obs    --scale 0.02 --fault-profile moderate
 
 ``--json PATH`` archives the paper-vs-measured report via :mod:`repro.io`.
+``--metrics-out PATH`` (or ``$REPRO_METRICS``) additionally archives the
+run's deterministic metrics/span snapshot (see :mod:`repro.obs`).
 Scale 1.0 is the paper's full size; small scales run in seconds.
 """
 
@@ -63,6 +66,30 @@ def _add_fault_profile(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run's metrics/span snapshot here (default: "
+            "$REPRO_METRICS, then off; .json extension selects JSON, "
+            "anything else the Prometheus-style text rendering)"
+        ),
+    )
+
+
+def _write_metrics(observer, args) -> None:
+    """Write the observer snapshot when --metrics-out / $REPRO_METRICS asks."""
+    from repro.obs import resolve_metrics_out, write_snapshot
+
+    path = resolve_metrics_out(getattr(args, "metrics_out", None))
+    if path is None or observer is None:
+        return
+    write_snapshot(observer, path)
+    print(f"[metrics snapshot written to {path}]")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         command = sub.add_parser(name, help=text)
         _add_common(command)
         _add_fault_profile(command)
+        _add_metrics_out(command)
 
     table2 = sub.add_parser("table2", help="Table II: popularity ranking")
     _add_common(table2, scale_default=0.05)
@@ -119,6 +147,42 @@ def build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="run every experiment (small scale)")
     _add_common(everything, scale_default=0.05)
     _add_fault_profile(everything)
+    _add_metrics_out(everything)
+
+    obs = sub.add_parser(
+        "obs",
+        help="run the small pipeline and print its metrics/span snapshot",
+        description=(
+            "Runs scan -> certificates -> crawl -> classify at the given "
+            "scale and prints the deterministic observability snapshot "
+            "(byte-identical at every --workers value)."
+        ),
+    )
+    obs.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    obs.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="world scale (1.0 = the paper's 39,824 onions)",
+    )
+    obs.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "deterministic parallel workers (default: $REPRO_WORKERS, then 1; "
+            "any value produces byte-identical output)"
+        ),
+    )
+    _add_fault_profile(obs)
+    _add_metrics_out(obs)
+    obs.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="snapshot rendering printed to stdout",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -135,11 +199,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="check determinism & convention rules (REP001-REP008)",
+        help="check determinism & convention rules (REP001-REP009)",
         description=(
             "Static analysis over the given paths: seeded-RNG discipline, "
             "sim-clock usage, the repro.errors hierarchy, stable set "
-            "ordering, import layering, and raw-concurrency containment.  "
+            "ordering, import layering, raw-concurrency containment, and "
+            "ad-hoc instrumentation (use repro.obs, not print/perf_counter). "
             "Exits 1 when findings remain."
         ),
     )
@@ -194,6 +259,7 @@ def _run_fig1(args) -> ExperimentReport:
         fault_profile=args.fault_profile,
     )
     _emit(result.report, result.format_figure(), args.json)
+    _write_metrics(result.pipeline.observer if result.pipeline else None, args)
     return result.report
 
 
@@ -207,6 +273,7 @@ def _run_table1(args) -> ExperimentReport:
         fault_profile=args.fault_profile,
     )
     _emit(result.report, result.format_table(), args.json)
+    _write_metrics(result.pipeline.observer if result.pipeline else None, args)
     return result.report
 
 
@@ -220,6 +287,7 @@ def _run_fig2(args) -> ExperimentReport:
         fault_profile=args.fault_profile,
     )
     _emit(result.report, result.format_figure(), args.json)
+    _write_metrics(result.pipeline.observer if result.pipeline else None, args)
     return result.report
 
 
@@ -373,7 +441,30 @@ def _run_all(args) -> ExperimentReport:
         print(f"[{name} done in {elapsed:.1f}s]\n")
         summary.add(f"{name} max rel. error", None, round(result.report.max_error(), 3))
     _emit(summary, json_path=args.json)
+    _write_metrics(pipeline.observer, args)
     return summary
+
+
+def _run_obs(args) -> int:
+    from repro.experiments.pipeline import MeasurementPipeline
+    from repro.obs import render_json, render_text
+
+    pipeline = MeasurementPipeline(
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        fault_profile=args.fault_profile,
+    )
+    pipeline.scan()
+    pipeline.certificates()
+    pipeline.crawl()
+    pipeline.classify()
+    if args.format == "json":
+        print(render_json(pipeline.observer))
+    else:
+        print(render_text(pipeline.observer))
+    _write_metrics(pipeline.observer, args)
+    return 0
 
 
 def _run_lint(args) -> int:
@@ -435,6 +526,7 @@ _RUNNERS = {
     "sec7": _run_sec7,
     "harvest": _run_harvest,
     "all": _run_all,
+    "obs": _run_obs,
     "lint": _run_lint,
 }
 

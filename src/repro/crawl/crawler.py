@@ -18,6 +18,7 @@ from repro.faults.retry import RetryPolicy, connect_with_retry
 from repro.faults.taxonomy import FailureCategory, FailureTaxonomy
 from repro.net.endpoint import ConnectOutcome
 from repro.net.transport import TorTransport
+from repro.obs.scope import Observer, ensure_observer
 from repro.parallel import pmap
 from repro.crawl.page import FetchedPage, PageKind
 from repro.population.content import strip_html
@@ -80,9 +81,11 @@ class Crawler:
         self,
         transport: TorTransport,
         retry_policy: Optional[RetryPolicy] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self._transport = transport
         self._retry_policy = retry_policy
+        self._observer = ensure_observer(observer)
 
     def crawl(
         self,
@@ -112,6 +115,10 @@ class Crawler:
                 results.connected += 1
             results.failures.record(category, page.attempts)
             results.add_page(page)
+            self._observer.count("crawl_pages_total", kind=page.kind.value)
+        self._observer.gauge("crawl_tried", results.tried)
+        self._observer.gauge("crawl_connected", results.connected)
+        self._observer.gauge("crawl_open_at_crawl", results.open_at_crawl)
         return results
 
     def _fetch_one(
@@ -122,13 +129,20 @@ class Crawler:
         category: Optional[FailureCategory] = None
         if self._retry_policy is None:
             result = self._transport.connect(onion, port, when)
+            self._observer.add_time(result.latency)
         else:
             outcome = connect_with_retry(
-                self._transport, onion, port, when, self._retry_policy
+                self._transport,
+                onion,
+                port,
+                when,
+                self._retry_policy,
+                observer=self._observer,
             )
             result = outcome.result
             attempts = outcome.attempts
             category = outcome.category
+            self._observer.add_time(max(0, outcome.finished_at - when))
         if result.outcome in (
             ConnectOutcome.UNREACHABLE,
             ConnectOutcome.REFUSED,

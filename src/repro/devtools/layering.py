@@ -41,6 +41,9 @@ FORBIDDEN_IMPORTS: Dict[str, frozenset] = {
     # The fault plane wraps net and is consumed by measurement layers; it
     # must never reach up into them.
     "faults": _MEASUREMENT_LAYERS,
+    # The observability plane is threaded through every layer; if it
+    # imported measurement code the dependency arrows would invert.
+    "obs": _MEASUREMENT_LAYERS,
 }
 
 

@@ -1,4 +1,4 @@
-"""Per-file AST rules REP001–REP005, REP007 and REP008.
+"""Per-file AST rules REP001–REP005, REP007, REP008 and REP009.
 
 Each rule walks the file's AST and yields :class:`Finding` objects.  The
 rules are deliberately syntactic — no type inference — so every pattern
@@ -400,4 +400,81 @@ class ExceptionSwallowRule(AstRule):
                     "exception swallowed without action; account the "
                     "failure (e.g. in a FailureTaxonomy) or let it "
                     "propagate",
+                )
+
+
+#: Places allowed ad-hoc output/timing: the observability plane itself,
+#: benchmarks (whose job is timing), the test tree, and runnable examples
+#: (whose job is showing output).
+_INSTRUMENTATION_EXEMPT_FRAGMENTS = (
+    "repro/obs/",
+    "benchmarks/",
+    "tests/",
+    "examples/",
+)
+
+#: File-level exemptions: the CLI is the user-facing surface — printing
+#: reports and elapsed runtimes is its job.
+_INSTRUMENTATION_EXEMPT_SUFFIXES = ("repro/cli.py",)
+
+
+@register
+class AdHocInstrumentationRule(AstRule):
+    """REP009: ad-hoc ``print`` / ``time.perf_counter`` instrumentation.
+
+    Scattered prints and timers are write-only telemetry: they bypass the
+    deterministic snapshot (so CI can't diff them) and tempt wall-clock
+    reasoning into library code.  Record counters, gauges and histograms on
+    an explicit :class:`repro.obs.scope.Observer` and time stages with its
+    sim-clock ``span``; only the obs plane itself, the CLI, benchmarks,
+    tests and examples may emit raw output.
+    """
+
+    id = "REP009"
+    summary = "ad-hoc print/perf_counter instrumentation (use repro.obs)"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if any(
+            fragment in ctx.path
+            for fragment in _INSTRUMENTATION_EXEMPT_FRAGMENTS
+        ):
+            return False
+        return not ctx.path_endswith(*_INSTRUMENTATION_EXEMPT_SUFFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        perf_counter_aliases = {
+            name.asname or name.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "time"
+            for name in node.names
+            if name.name == "perf_counter"
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    "print() in library code is write-only telemetry; record "
+                    "the fact on a repro.obs Observer (counter, gauge, or "
+                    "event) so it lands in the deterministic snapshot",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "perf_counter"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ) or (
+                isinstance(func, ast.Name) and func.id in perf_counter_aliases
+            ):
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    "ad-hoc perf_counter timing in library code; wrap the "
+                    "stage in Observer.span(...) so the duration lands in "
+                    "the deterministic snapshot",
                 )

@@ -73,3 +73,7 @@ class RetryExhaustedError(NetworkError):
 
 class ParallelError(ReproError):
     """The deterministic parallel executor was configured incorrectly."""
+
+
+class ObservabilityError(ReproError):
+    """A metric, span, or snapshot in repro.obs was used incorrectly."""

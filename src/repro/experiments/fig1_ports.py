@@ -36,6 +36,9 @@ class Fig1Result:
     distribution: PortDistribution
     descriptors_available: int
     report: ExperimentReport
+    #: The pipeline that produced the result; its ``observer`` carries the
+    #: campaign's metrics/span snapshot (``--metrics-out``).
+    pipeline: Optional[MeasurementPipeline] = None
 
     def format_figure(self) -> str:
         """The text rendering of Fig 1."""
@@ -93,4 +96,5 @@ def run_fig1(
         distribution=distribution,
         descriptors_available=len(scan.descriptor_onions),
         report=report,
+        pipeline=pipeline,
     )

@@ -31,6 +31,9 @@ class Fig2Result:
     outcome: ClassificationOutcome
     funnel: Dict[str, int]
     report: ExperimentReport
+    #: The pipeline that produced the result; its ``observer`` carries the
+    #: campaign's metrics/span snapshot (``--metrics-out``).
+    pipeline: Optional[MeasurementPipeline] = None
 
     def format_figure(self) -> str:
         """Text rendering of Fig 2 (topic percentages)."""
@@ -102,4 +105,4 @@ def run_fig2(
             round(shares.get(topic, 0.0), 1),
         )
     report.note("topics measured over topic-classified English pages, as Fig 2")
-    return Fig2Result(outcome=outcome, funnel=funnel, report=report)
+    return Fig2Result(outcome=outcome, funnel=funnel, report=report, pipeline=pipeline)

@@ -28,6 +28,7 @@ from repro.faults import (
     wrap_transport,
 )
 from repro.net.transport import TorTransport
+from repro.obs.scope import Observer, ensure_observer
 from repro.parallel import pmap
 from repro.population import GeneratedPopulation, generate_population
 from repro.population.spec import PORT_SKYNET
@@ -45,20 +46,30 @@ from repro.sim.rng import derive_rng
 
 def _classify_page(
     page: FetchedPage,
+    observer: Optional[Observer] = None,
+    *,
     detector: LanguageDetector,
     classifier: TopicClassifier,
 ) -> Tuple[str, bool, Optional[str]]:
     """(language, is-TorHost-default, topic-or-None) for one page.
 
     Pure per page and picklable (module-level function, dict-state
-    models), so the classify stage can fan out across processes.
+    models), so the classify stage can fan out across processes.  When
+    the stage runs under an enabled observer, ``observer`` is the shard
+    observer :func:`repro.parallel.pmap` hands in; the counters recorded
+    here are additive, so the merged snapshot is worker-count-invariant.
     """
+    obs = ensure_observer(observer)
     language = detector.detect(page.text)
+    obs.count("classify_pages_total", language=language)
     if language != "en":
         return language, False, None
     if is_torhost_default(page.text):
+        obs.count("classify_torhost_defaults_total")
         return language, True, None
-    return language, False, classifier.classify(page.text)
+    topic = classifier.classify(page.text)
+    obs.count("classify_topics_total", topic=topic)
+    return language, False, topic
 
 
 class ClassificationOutcome:
@@ -105,8 +116,13 @@ class MeasurementPipeline:
         retries: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.seed = seed
+        #: The campaign's observability scope: every stage, the transport,
+        #: the fault wrapper and the retry layer record into it.  Explicit
+        #: (not global) so two pipelines never share metric state.
+        self.observer = observer if observer is not None else Observer(name="pipeline")
         #: Worker count for every stage fan-out (None → $REPRO_WORKERS → 1).
         #: Any value yields byte-identical stages; see repro.parallel.
         self.workers = workers
@@ -135,8 +151,10 @@ class MeasurementPipeline:
                 self.population.registry,
                 derive_rng(seed, "pipeline", "transport"),
                 descriptor_available=self.population.descriptor_available,
+                observer=self.observer,
             ),
             fault_plan,
+            observer=self.observer,
         )
         self._scan: Optional[ScanResults] = None
         self._certs: Optional[CertificateAnalysis] = None
@@ -154,9 +172,12 @@ class MeasurementPipeline:
             schedule = ScanSchedule(
                 start=self.population.scan_start, days=self.scan_days
             )
-            self._scan = PortScanner(
-                self.transport, retry_policy=self.retry_policy
-            ).run(self.population.all_onions, schedule, workers=self.workers)
+            with self.observer.span("pipeline.scan"):
+                self._scan = PortScanner(
+                    self.transport,
+                    retry_policy=self.retry_policy,
+                    observer=self.observer,
+                ).run(self.population.all_onions, schedule, workers=self.workers)
         return self._scan
 
     def certificates(self) -> CertificateAnalysis:
@@ -165,18 +186,25 @@ class MeasurementPipeline:
             scan = self.scan()
             https = scan.onions_with_port(443)
             when = self.population.scan_start + self.scan_days * DAY
-            certs = collect_certificates(self.transport, https, when)
-            self._certs = analyze_certificates(certs)
+            with self.observer.span("pipeline.certificates", https_onions=len(https)):
+                certs = collect_certificates(self.transport, https, when)
+                self._certs = analyze_certificates(certs)
+            self.observer.gauge("certificates_collected", len(certs))
         return self._certs
 
     def crawl(self) -> CrawlResults:
         """Stage 2: the HTTP(S) crawl two months later (Section IV)."""
         if self._crawl is None:
             destinations = self.scan().destinations_excluding(PORT_SKYNET)
-            crawler = Crawler(self.transport, retry_policy=self.retry_policy)
-            self._crawl = crawler.crawl(
-                destinations, self.population.crawl_date, workers=self.workers
+            crawler = Crawler(
+                self.transport,
+                retry_policy=self.retry_policy,
+                observer=self.observer,
             )
+            with self.observer.span("pipeline.crawl"):
+                self._crawl = crawler.crawl(
+                    destinations, self.population.crawl_date, workers=self.workers
+                )
         return self._crawl
 
     def classifiable(self) -> ClassifiableSet:
@@ -197,15 +225,17 @@ class MeasurementPipeline:
         if self._classification is None:
             outcome = ClassificationOutcome()
             pages = self.classifiable().pages
-            assignments = pmap(
-                functools.partial(
-                    _classify_page,
-                    detector=self.language_detector,
-                    classifier=self.topic_classifier,
-                ),
-                pages,
-                workers=self.workers,
-            )
+            with self.observer.span("pipeline.classify", pages=len(pages)):
+                assignments = pmap(
+                    functools.partial(
+                        _classify_page,
+                        detector=self.language_detector,
+                        classifier=self.topic_classifier,
+                    ),
+                    pages,
+                    workers=self.workers,
+                    observer=self.observer,
+                )
             for page, (language, is_default, topic) in zip(pages, assignments):
                 outcome.classified_pages += 1
                 outcome.page_languages[page.destination] = language
@@ -220,6 +250,8 @@ class MeasurementPipeline:
                     continue
                 outcome.page_topics[page.destination] = topic
                 outcome.topic_counts[topic] = outcome.topic_counts.get(topic, 0) + 1
+            self.observer.gauge("classify_pages", outcome.classified_pages)
+            self.observer.gauge("classify_english_pages", outcome.english_pages)
             self._classification = outcome
         return self._classification
 

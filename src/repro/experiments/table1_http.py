@@ -26,6 +26,9 @@ class Table1Result:
     open_at_crawl: int
     connected: int
     report: ExperimentReport
+    #: The pipeline that produced the result; its ``observer`` carries the
+    #: campaign's metrics/span snapshot (``--metrics-out``).
+    pipeline: Optional[MeasurementPipeline] = None
 
     def format_table(self) -> str:
         """Text rendering of Table I."""
@@ -70,4 +73,5 @@ def run_table1(
         open_at_crawl=crawl.open_at_crawl,
         connected=crawl.connected,
         report=report,
+        pipeline=pipeline,
     )

@@ -28,8 +28,14 @@ from repro.crypto.onion import OnionAddress
 from repro.errors import FaultConfigError, RetryExhaustedError
 from repro.faults.taxonomy import FailureCategory
 from repro.net.endpoint import ConnectOutcome, ConnectResult
+from repro.obs.scope import Observer, ensure_observer
 from repro.sim.clock import Timestamp
 from repro.sim.rng import derive_rng
+
+#: Jitter-stream label for descriptor re-fetches.  Distinct from every
+#: integer port, so a descriptor re-fetch schedule can never collide with
+#: the retry stream of a genuine port-0 probe on the same onion.
+DESCRIPTOR_STREAM = "descriptor"
 
 
 @dataclass(frozen=True)
@@ -81,11 +87,15 @@ class RetryPolicy:
             float(self.max_delay),
         )
 
-    def delay_before(self, attempt: int, onion: OnionAddress, port: int) -> Timestamp:
+    def delay_before(
+        self, attempt: int, onion: OnionAddress, port: "int | str"
+    ) -> Timestamp:
         """Jittered, whole-second delay before attempt ``attempt``.
 
         Deterministic: the jitter draw is keyed on (onion, port, attempt),
-        so the same probe always waits the same amount.
+        so the same probe always waits the same amount.  ``port`` may be a
+        stream label such as :data:`DESCRIPTOR_STREAM` for operations that
+        are not port probes.
         """
         base = self.base_backoff(attempt)
         if self.jitter:
@@ -129,22 +139,64 @@ def connect_with_retry(
     require_success: bool = False,
     initial: Optional[ConnectResult] = None,
     require_conversation: bool = True,
+    observer: Optional[Observer] = None,
 ) -> RetryOutcome:
     """Connect to ``onion:port``, retrying per ``policy``.
 
     ``initial`` lets a caller who already holds a failed first-attempt
     result (e.g. from a batched port scan) enter the loop without probing
-    again; it counts as attempt 1.  ``require_success=True`` raises
-    :class:`RetryExhaustedError` instead of returning an exhausted outcome.
-    ``require_conversation=False`` accepts a truncated-but-open result (SYN
-    scan semantics: the port is proven open, nothing more is needed).
+    again; it counts as attempt 1, and its latency does **not** advance the
+    clock here — it already elapsed inside the caller's batch, so charging
+    it again would double-count it in ``finished_at``.
+    ``require_success=True`` raises :class:`RetryExhaustedError` instead of
+    returning an exhausted outcome.  ``require_conversation=False`` accepts
+    a truncated-but-open result (SYN scan semantics: the port is proven
+    open, nothing more is needed).
     """
+    obs = ensure_observer(observer)
+    try:
+        outcome = _retry_loop(
+            transport,
+            onion,
+            port,
+            when,
+            policy,
+            deadline,
+            require_success,
+            initial,
+            require_conversation,
+        )
+    except RetryExhaustedError as exc:
+        obs.count("retry_attempts_total", amount=max(0, exc.attempts - 1))
+        obs.count("retry_outcomes_total", category="retries_exhausted")
+        raise
+    obs.count("retry_attempts_total", amount=outcome.attempts - 1)
+    if outcome.category is not None:
+        obs.count("retry_outcomes_total", category=outcome.category.value)
+    obs.observe("retry_settle_seconds", outcome.finished_at - when)
+    return outcome
+
+
+def _retry_loop(
+    transport,
+    onion: OnionAddress,
+    port: int,
+    when: Timestamp,
+    policy: RetryPolicy,
+    deadline: Optional[Timestamp],
+    require_success: bool,
+    initial: Optional[ConnectResult],
+    require_conversation: bool,
+) -> RetryOutcome:
     now = when
     attempts = 1
-    result = initial if initial is not None else transport.connect(onion, port, now)
+    if initial is not None:
+        result = initial
+    else:
+        result = transport.connect(onion, port, now)
+        now += result.latency
     refetches = 0
     while True:
-        now += result.latency
         if result.outcome.counts_as_open and (
             not result.truncated or not require_conversation
         ):
@@ -163,6 +215,7 @@ def connect_with_retry(
             if not transport.has_descriptor(onion, now):
                 return RetryOutcome(result, attempts, FailureCategory.PERMANENT, now)
             result = transport.connect(onion, port, now)
+            now += result.latency
             attempts += 1
             continue
         if not policy.retryable(result):
@@ -187,6 +240,7 @@ def connect_with_retry(
             return RetryOutcome(result, attempts, FailureCategory.RETRIES_EXHAUSTED, now)
         now += delay
         result = transport.connect(onion, port, now)
+        now += result.latency
         attempts += 1
 
 
@@ -195,20 +249,25 @@ def fetch_descriptor_with_retry(
     onion: OnionAddress,
     when: Timestamp,
     policy: RetryPolicy,
+    observer: Optional[Observer] = None,
 ) -> Tuple[bool, int]:
     """Fetch ``onion``'s descriptor, re-fetching per the policy budget.
 
     Returns ``(found, attempts)``.  A descriptor that stays gone after the
     re-fetch budget is permanent churn — the paper's 39,824 → 24,511
-    shrinkage — and the caller should not keep asking.
+    shrinkage — and the caller should not keep asking.  Re-fetch delays are
+    jittered on the :data:`DESCRIPTOR_STREAM` label, a stream no port probe
+    can share.
     """
+    obs = ensure_observer(observer)
     attempts = 1
     now = when
     if transport.has_descriptor(onion, now):
         return True, attempts
     while attempts <= policy.descriptor_refetches:
-        now += policy.delay_before(attempts + 1, onion, 0)
+        now += policy.delay_before(attempts + 1, onion, DESCRIPTOR_STREAM)
         attempts += 1
+        obs.count("descriptor_refetches_total")
         if transport.has_descriptor(onion, now):
             return True, attempts
     return False, attempts

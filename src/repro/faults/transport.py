@@ -18,11 +18,12 @@ draw — replay identically at any worker count.
 from __future__ import annotations
 
 import dataclasses
-from typing import Collection, Dict, Tuple
+from typing import Collection, Dict, Optional, Tuple
 
 from repro.crypto.onion import OnionAddress
 from repro.faults.plan import FaultPlan
 from repro.net.endpoint import ConnectOutcome, ConnectResult
+from repro.obs.scope import Observer, ensure_observer
 from repro.sim.clock import Timestamp
 
 
@@ -32,11 +33,16 @@ class FaultInjectingTransport:
     Args:
         inner: the transport doing the real (simulated) work.
         plan: which faults fire, keyed by (onion, port, attempt).
+        observer: optional :class:`~repro.obs.scope.Observer`; every
+            injected fault is counted under ``faults_injected_total``.
     """
 
-    def __init__(self, inner, plan: FaultPlan) -> None:
+    def __init__(
+        self, inner, plan: FaultPlan, observer: Optional[Observer] = None
+    ) -> None:
         self._inner = inner
         self._plan = plan
+        self._observer = ensure_observer(observer)
         #: Probes answered by an injected fault instead of the inner transport.
         self.injected = 0
         self._probe_attempts: Dict[Tuple[OnionAddress, int], int] = {}
@@ -85,7 +91,10 @@ class FaultInjectingTransport:
         )
         if not extra and not truncate:
             return result
+        if extra:
+            self._observer.count("faults_injected_total", kind="slow_circuit")
         if truncate:
+            self._observer.count("faults_injected_total", kind="truncation")
             return dataclasses.replace(
                 result,
                 truncated=True,
@@ -102,6 +111,9 @@ class FaultInjectingTransport:
         # the service look gone even though the inner host may be fine.
         if self._plan.descriptor_unavailable(onion, self._next_fetch(onion), now):
             self.injected += 1
+            self._observer.count(
+                "faults_injected_total", kind="descriptor_unavailable"
+            )
             return ConnectResult(
                 outcome=ConnectOutcome.UNREACHABLE,
                 port=port,
@@ -109,6 +121,7 @@ class FaultInjectingTransport:
             )
         if self._plan.circuit_timeout(onion, port, attempt, now):
             self.injected += 1
+            self._observer.count("faults_injected_total", kind="circuit_timeout")
             return ConnectResult(
                 outcome=ConnectOutcome.TIMEOUT,
                 port=port,
@@ -129,12 +142,18 @@ class FaultInjectingTransport:
         attempt counters advance identically on every run.
         """
         if self._plan.descriptor_unavailable(onion, self._next_fetch(onion), now):
+            self._observer.count(
+                "faults_injected_total", kind="descriptor_unavailable"
+            )
             return {}
         inner_results = self._inner.scan_ports(onion, ports, now)
         results: Dict[int, ConnectResult] = {}
         for port in sorted(inner_results):
             attempt = self._next_probe(onion, port)
             if self._plan.circuit_timeout(onion, port, attempt, now):
+                self._observer.count(
+                    "faults_injected_total", kind="circuit_timeout"
+                )
                 results[port] = ConnectResult(
                     outcome=ConnectOutcome.TIMEOUT,
                     port=port,
@@ -147,8 +166,8 @@ class FaultInjectingTransport:
         return results
 
 
-def wrap_transport(inner, plan: FaultPlan):
+def wrap_transport(inner, plan: FaultPlan, observer: Optional[Observer] = None):
     """Wrap ``inner`` when ``plan`` has active rules; pass through otherwise."""
     if not plan.active:
         return inner
-    return FaultInjectingTransport(inner, plan)
+    return FaultInjectingTransport(inner, plan, observer=observer)

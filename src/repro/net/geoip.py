@@ -91,29 +91,40 @@ class GeoIP:
         rng = derive_rng(seed, "net", "geoip")
         blocks = list(_UNICAST_FIRST_OCTETS)
         rng.shuffle(blocks)
+        if len(self._countries) > len(blocks):
+            raise NetworkError(
+                f"{len(self._countries)} countries cannot each get a /8: "
+                f"only {len(blocks)} unicast blocks exist"
+            )
         # Assign /8 blocks proportionally to weight, at least one block each.
+        # Reserve the one guaranteed block per country FIRST, then hand out
+        # the remainder by floored proportional quota plus largest fractional
+        # remainder (ties broken alphabetically).  Rounding each country's
+        # share independently — as a naive max(1, round(...)) loop does —
+        # over-allocates to early alphabetical countries and can exhaust the
+        # block cursor, leaving later countries with zero /8 blocks.
         total = sum(weights.values())
+        remainder = len(blocks) - len(self._countries)
+        quotas: Dict[str, int] = {}
+        fractions: List[Tuple[float, str]] = []
+        assigned = 0
+        for country in self._countries:
+            exact = remainder * weights[country] / total
+            quotas[country] = int(exact)
+            assigned += quotas[country]
+            fractions.append((-(exact - quotas[country]), country))
+        fractions.sort()
+        for _, country in fractions[: remainder - assigned]:
+            quotas[country] += 1
         self._block_to_country: Dict[int, str] = {}
         self._country_to_blocks: Dict[str, List[int]] = {c: [] for c in self._countries}
         cursor = 0
         for country in self._countries:
-            share = max(1, round(len(blocks) * weights[country] / total))
-            for _ in range(share):
-                if cursor >= len(blocks):
-                    break
+            for _ in range(1 + quotas[country]):
                 block = blocks[cursor]
                 cursor += 1
                 self._block_to_country[block] = country
                 self._country_to_blocks[country].append(block)
-        # Distribute any leftover blocks round-robin.
-        index = 0
-        while cursor < len(blocks):
-            country = self._countries[index % len(self._countries)]
-            block = blocks[cursor]
-            self._block_to_country[block] = country
-            self._country_to_blocks[country].append(block)
-            cursor += 1
-            index += 1
 
     @property
     def countries(self) -> List[str]:

@@ -17,6 +17,7 @@ from typing import Callable, Collection, Dict, Optional
 from repro.crypto.onion import OnionAddress, is_valid_onion
 from repro.errors import NetworkError
 from repro.net.endpoint import ConnectOutcome, ConnectResult, Host
+from repro.obs.scope import Observer, ensure_observer
 from repro.sim.clock import Timestamp
 
 
@@ -64,6 +65,8 @@ class TorTransport:
             scan).
         circuit_timeout_probability: chance any attempt dies to a circuit
             timeout before reaching the host.
+        observer: optional :class:`~repro.obs.scope.Observer` that counts
+            every probe issued and its outcome (no-op when omitted).
     """
 
     def __init__(
@@ -72,6 +75,7 @@ class TorTransport:
         rng: random.Random,
         descriptor_available: Optional[Callable[[OnionAddress, Timestamp], bool]] = None,
         circuit_timeout_probability: float = 0.0,
+        observer: Optional[Observer] = None,
     ) -> None:
         if not 0.0 <= circuit_timeout_probability <= 1.0:
             raise NetworkError(
@@ -81,6 +85,7 @@ class TorTransport:
         self._rng = rng
         self._descriptor_available = descriptor_available
         self._circuit_timeout_probability = circuit_timeout_probability
+        self._observer = ensure_observer(observer)
         self.attempts = 0
 
     def has_descriptor(self, onion: OnionAddress, now: Timestamp) -> bool:
@@ -96,6 +101,14 @@ class TorTransport:
 
     def connect(self, onion: OnionAddress, port: int, now: Timestamp) -> ConnectResult:
         """Attempt a connection to ``onion:port`` at simulated time ``now``."""
+        result = self._connect(onion, port, now)
+        self._observer.count("transport_probes_total", api="connect")
+        self._observer.count(
+            "transport_outcomes_total", outcome=result.outcome.value
+        )
+        return result
+
+    def _connect(self, onion: OnionAddress, port: int, now: Timestamp) -> ConnectResult:
         self.attempts += 1
         if self._descriptor_available is not None and not self._descriptor_available(
             onion, now
@@ -160,6 +173,7 @@ class TorTransport:
             if port not in port_set:
                 continue
             self.attempts += 1
+            self._observer.count("transport_probes_total", api="scan")
             if (
                 self._circuit_timeout_probability
                 and self._rng.random() < self._circuit_timeout_probability
@@ -171,4 +185,8 @@ class TorTransport:
                 )
                 continue
             results[port] = endpoint.connect(self._rng)
+        for port in sorted(results):
+            self._observer.count(
+                "transport_outcomes_total", outcome=results[port].outcome.value
+            )
         return results

@@ -1,0 +1,239 @@
+"""Deterministic metric primitives: counters, gauges, histograms.
+
+The paper's headline numbers — 24,511 resolvable descriptors, 22,007 open
+ports, 1,031,176 client requests — are all *counts from instrumentation*.
+This module provides the counting machinery with the discipline the rest of
+the repo demands: no wall-clock anywhere (histograms observe **simulated**
+seconds), fixed bucket bounds declared up front, and a merge operation whose
+result depends only on the sequence of merges — never on scheduling — so
+per-shard registries recombine byte-identically at any worker count.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+Number = Union[int, float]
+
+#: Label set in canonical form: name-sorted (key, value) pairs.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bounds, in simulated seconds: probe latencies up
+#: through retry backoffs (minutes) and whole scan days.  ``+Inf`` is
+#: implicit — every histogram gets an unbounded final bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0,
+    3600.0, 86400.0,
+)
+
+
+def canonical_labels(labels: Dict[str, object]) -> LabelItems:
+    """Sorted ``(key, str(value))`` pairs — one spelling per label set."""
+    return tuple((key, str(labels[key])) for key in sorted(labels))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(f"counter increment must be >= 0: {amount}")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        """Counters are additive across shards."""
+        self.value += other.value
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value; merging keeps the most recent write."""
+
+    value: Number = 0
+    #: Whether :meth:`set` has ever been called (empty gauges merge away).
+    written: bool = False
+
+    def set(self, value: Number) -> None:
+        """Record the current value."""
+        self.value = value
+        self.written = True
+
+    def merge(self, other: "Gauge") -> None:
+        """Last write wins, in merge order (shard order, by contract)."""
+        if other.written:
+            self.value = other.value
+            self.written = True
+
+
+@dataclass
+class Histogram:
+    """Observation counts in fixed, ascending buckets (``le`` semantics).
+
+    ``bounds[i]`` is the inclusive upper edge of bucket ``i``; a final
+    unbounded bucket catches everything larger.  Bounds are fixed at
+    construction so shard histograms merge by plain vector addition.
+    """
+
+    bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    sum: Number = 0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ObservabilityError("histogram needs at least one bucket bound")
+        if list(self.bounds) != sorted(self.bounds):
+            raise ObservabilityError(
+                f"histogram bounds must be ascending: {self.bounds}"
+            )
+        if len(set(self.bounds)) != len(self.bounds):
+            raise ObservabilityError(
+                f"histogram bounds must be distinct: {self.bounds}"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: Number) -> None:
+        """Account one observation (a simulated-seconds duration, usually)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Vector-add a shard histogram with identical bounds."""
+        if other.bounds != self.bounds:
+            raise ObservabilityError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.sum += other.sum
+        self.count += other.count
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` rows, ``+Inf`` last."""
+        rows: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            rows.append((bound, running))
+        rows.append((float("inf"), running + self.counts[-1]))
+        return rows
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+#: Exposition-order kind tags (also used for type-conflict messages).
+_KINDS = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricsRegistry:
+    """A named collection of metrics, keyed by (metric name, label set).
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create; asking for the
+    same (name, labels) with a different type — or a histogram with
+    different bounds — is a programming error and raises
+    :class:`ObservabilityError` rather than silently forking the series.
+    """
+
+    def __init__(self, name: str = "root") -> None:
+        if not name:
+            raise ObservabilityError("registry name must be non-empty")
+        self.name = name
+        self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(
+        self, name: str, labels: Dict[str, object], factory
+    ) -> Metric:
+        if not name:
+            raise ObservabilityError("metric name must be non-empty")
+        key = (name, canonical_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        metric = self._get_or_create(name, labels, Counter)
+        if not isinstance(metric, Counter):
+            raise ObservabilityError(
+                f"metric {name!r} is a {_KINDS[type(metric)]}, not a counter"
+            )
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        metric = self._get_or_create(name, labels, Gauge)
+        if not isinstance(metric, Gauge):
+            raise ObservabilityError(
+                f"metric {name!r} is a {_KINDS[type(metric)]}, not a gauge"
+            )
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        bounds = tuple(float(bound) for bound in buckets)
+        metric = self._get_or_create(
+            name, labels, lambda: Histogram(bounds=bounds)
+        )
+        if not isinstance(metric, Histogram):
+            raise ObservabilityError(
+                f"metric {name!r} is a {_KINDS[type(metric)]}, not a histogram"
+            )
+        if metric.bounds != bounds:
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with bounds "
+                f"{metric.bounds}, not {bounds}"
+            )
+        return metric
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold a shard registry in: counters/histograms add, gauges take
+        the incoming write.  Walks ``other`` in its own insertion order, so
+        a sequence of merges in shard order reproduces the serial run's
+        write order exactly.
+        """
+        for (name, labels), incoming in other._metrics.items():
+            key = (name, labels)
+            existing = self._metrics.get(key)
+            if existing is None:
+                if isinstance(incoming, Counter):
+                    existing = self._metrics[key] = Counter()
+                elif isinstance(incoming, Gauge):
+                    existing = self._metrics[key] = Gauge()
+                else:
+                    existing = self._metrics[key] = Histogram(
+                        bounds=incoming.bounds
+                    )
+            if type(existing) is not type(incoming):
+                raise ObservabilityError(
+                    f"cannot merge {_KINDS[type(incoming)]} {name!r} into "
+                    f"{_KINDS[type(existing)]} of the same name"
+                )
+            existing.merge(incoming)
+
+    def items(self) -> List[Tuple[str, LabelItems, Metric]]:
+        """Every metric as ``(name, labels, metric)``, in sorted order."""
+        return [
+            (name, labels, self._metrics[(name, labels)])
+            for name, labels in sorted(self._metrics)
+        ]

@@ -1,0 +1,135 @@
+"""The explicit observability scope threaded through the pipeline.
+
+An :class:`Observer` bundles a :class:`~repro.obs.metrics.MetricsRegistry`,
+a span stack, and a bounded event log behind one object that components
+receive as an argument — **never** global mutable state.  A component that
+is handed no observer gets :data:`NULL_OBSERVER`, whose every method is a
+no-op, so instrumentation costs nothing when nobody is watching and the
+instrumented code never branches on "is telemetry on".
+
+For parallel stages, :meth:`child` mints a fresh observer per shard and
+:meth:`absorb` folds it back in; done in shard order (as
+:func:`repro.parallel.pmap` does), the merged snapshot is byte-identical
+at every worker count, because counters and histograms are additive and
+shard-order concatenation of events equals global item order.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.trace import EventLog, Span, canonical_attrs
+
+
+class Observer:
+    """Metrics + spans + events for one measurement run (or one shard)."""
+
+    def __init__(
+        self,
+        name: str = "root",
+        enabled: bool = True,
+        max_events: int = 256,
+    ) -> None:
+        self.name = name
+        self.enabled = enabled
+        self.registry = MetricsRegistry(name)
+        self.events = EventLog(max_events)
+        #: Completed/open top-level spans, in creation order.
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    @classmethod
+    def disabled(cls) -> "Observer":
+        """An observer whose every method is a no-op."""
+        return cls(name="disabled", enabled=False)
+
+    # -- metrics ---------------------------------------------------------- #
+
+    def count(self, name: str, amount: int = 1, **labels: object) -> None:
+        """Increment the counter ``(name, labels)`` by ``amount``."""
+        if self.enabled:
+            self.registry.counter(name, **labels).inc(amount)
+
+    def gauge(self, name: str, value, **labels: object) -> None:
+        """Set the gauge ``(name, labels)`` to ``value``."""
+        if self.enabled:
+            self.registry.gauge(name, **labels).set(value)
+
+    def observe(
+        self, name: str, value, buckets=DEFAULT_BUCKETS, **labels: object
+    ) -> None:
+        """Record ``value`` into the histogram ``(name, labels)``."""
+        if self.enabled:
+            self.registry.histogram(name, buckets=buckets, **labels).observe(value)
+
+    # -- events ----------------------------------------------------------- #
+
+    def event(self, name: str, **fields: object) -> None:
+        """Append a structured event (bounded; overflow is counted)."""
+        if self.enabled:
+            self.events.add(name, **fields)
+
+    # -- spans ------------------------------------------------------------ #
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a nested span; sim-time is credited via :meth:`add_time`."""
+        opened = Span(name=name, attrs=canonical_attrs(attrs))
+        if not self.enabled:
+            yield opened
+            return
+        if self._stack:
+            self._stack[-1].children.append(opened)
+        else:
+            self.spans.append(opened)
+        self._stack.append(opened)
+        try:
+            yield opened
+        finally:
+            self._stack.pop()
+
+    def add_time(self, seconds: int) -> None:
+        """Credit simulated seconds to the innermost open span (if any)."""
+        if self.enabled and self._stack and seconds:
+            self._stack[-1].add_time(seconds)
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    # -- shard fan-out ---------------------------------------------------- #
+
+    def child(self, name: str) -> "Observer":
+        """A fresh observer for one shard of a parallel stage."""
+        return Observer(
+            name=name, enabled=self.enabled, max_events=self.events.max_events
+        )
+
+    def absorb(self, child: "Observer") -> None:
+        """Fold a shard observer back in (call in shard order).
+
+        Counters and histograms add; gauges take the child's write; events
+        append; the child's top-level spans graft under the currently open
+        span (or become top-level here).
+        """
+        if not self.enabled:
+            return
+        self.registry.merge(child.registry)
+        self.events.extend(child.events)
+        if self._stack:
+            self._stack[-1].children.extend(child.spans)
+        else:
+            self.spans.extend(child.spans)
+
+
+#: The shared no-op observer components default to.  Its methods mutate
+#: nothing, so sharing one instance is safe.
+NULL_OBSERVER = Observer.disabled()
+
+
+def ensure_observer(observer: Optional[Observer]) -> Observer:
+    """``observer`` itself, or the no-op observer for ``None``."""
+    return observer if observer is not None else NULL_OBSERVER

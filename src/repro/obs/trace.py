@@ -1,0 +1,96 @@
+"""Sim-clock spans and a bounded structured event log.
+
+Spans answer "where did the simulated time go": each records its own
+sim-seconds (credited via :meth:`repro.obs.scope.Observer.add_time`) plus
+its children, so a pipeline run renders as a tree of stage timings — the
+scan's eight days, the crawl two months later — with no wall-clock
+anywhere.  The event log captures discrete occurrences (a retry burst, a
+descriptor flap) with a hard size bound so a pathological run cannot grow
+the snapshot without bound; overflow is counted, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Structured attributes in canonical form: name-sorted (key, value) pairs.
+AttrItems = Tuple[Tuple[str, str], ...]
+
+
+def canonical_attrs(attrs: dict) -> AttrItems:
+    """Sorted ``(key, str(value))`` pairs — one spelling per attr set."""
+    return tuple((key, str(attrs[key])) for key in sorted(attrs))
+
+
+@dataclass
+class Span:
+    """One named region of simulated time, possibly with children."""
+
+    name: str
+    attrs: AttrItems = ()
+    #: Simulated seconds credited directly to this span (not children).
+    own_seconds: int = 0
+    children: List["Span"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ObservabilityError("span name must be non-empty")
+
+    @property
+    def duration(self) -> int:
+        """Total simulated seconds: own time plus every descendant's."""
+        return self.own_seconds + sum(child.duration for child in self.children)
+
+    def add_time(self, seconds: int) -> None:
+        """Credit ``seconds`` of simulated time directly to this span."""
+        if seconds < 0:
+            raise ObservabilityError(f"span time must be >= 0: {seconds}")
+        self.own_seconds += seconds
+
+
+@dataclass
+class Event:
+    """One structured occurrence."""
+
+    name: str
+    fields: AttrItems = ()
+
+
+class EventLog:
+    """An append-only event list with a hard size bound.
+
+    Once ``max_events`` entries exist, further events increment
+    :attr:`dropped` instead of growing the list — the snapshot stays
+    bounded and the overflow stays visible.
+    """
+
+    def __init__(self, max_events: int = 256) -> None:
+        if max_events < 0:
+            raise ObservabilityError(f"max_events must be >= 0: {max_events}")
+        self.max_events = max_events
+        self.events: List[Event] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def add(self, name: str, **fields: object) -> None:
+        """Record one event (or count it dropped past the bound)."""
+        if not name:
+            raise ObservabilityError("event name must be non-empty")
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(Event(name=name, fields=canonical_attrs(fields)))
+
+    def extend(self, other: "EventLog") -> None:
+        """Append a shard log's events, respecting this log's bound."""
+        for event in other.events:
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+                continue
+            self.events.append(event)
+        self.dropped += other.dropped

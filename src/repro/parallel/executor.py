@@ -37,6 +37,7 @@ from concurrent import futures
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import ParallelError
+from repro.obs.scope import Observer
 from repro.sim.rng import derive_rng
 
 T = TypeVar("T")
@@ -116,14 +117,31 @@ def _run_shard(
     start: int,
     seed: Optional[int],
     seed_path: Tuple[str, ...],
-) -> List[R]:
-    """Run one shard; module-level so the process pool can pickle it."""
+    observed: bool = False,
+) -> "List[R] | Tuple[List[R], Observer]":
+    """Run one shard; module-level so the process pool can pickle it.
+
+    With ``observed=True`` a fresh shard :class:`Observer` is created here
+    (inside the pool worker, when pooled) and passed to ``fn`` as its last
+    argument; the shard's results and observer travel back together so the
+    caller can absorb observers in shard order.
+    """
+    if not observed:
+        if seed is None:
+            return [fn(item) for item in shard_items]
+        return [
+            fn(item, item_rng(seed, seed_path, start + offset))
+            for offset, item in enumerate(shard_items)
+        ]
+    shard_observer = Observer(name=f"shard@{start}")
     if seed is None:
-        return [fn(item) for item in shard_items]
-    return [
-        fn(item, item_rng(seed, seed_path, start + offset))
-        for offset, item in enumerate(shard_items)
-    ]
+        results = [fn(item, shard_observer) for item in shard_items]
+    else:
+        results = [
+            fn(item, item_rng(seed, seed_path, start + offset), shard_observer)
+            for offset, item in enumerate(shard_items)
+        ]
+    return results, shard_observer
 
 
 def _is_picklable(obj: object) -> bool:
@@ -140,10 +158,20 @@ def _run_serial(
     bounds: List[Tuple[int, int]],
     seed: Optional[int],
     seed_path: Tuple[str, ...],
+    observer: Optional[Observer] = None,
 ) -> List[R]:
     merged: List[R] = []
     for start, stop in bounds:
-        merged.extend(_run_shard(fn, item_list[start:stop], start, seed, seed_path))
+        if observer is None:
+            merged.extend(
+                _run_shard(fn, item_list[start:stop], start, seed, seed_path)
+            )
+        else:
+            results, shard_observer = _run_shard(
+                fn, item_list[start:stop], start, seed, seed_path, observed=True
+            )
+            merged.extend(results)
+            observer.absorb(shard_observer)
     return merged
 
 
@@ -155,6 +183,7 @@ def pmap(
     seed_path: Sequence[str] = (),
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    observer: Optional[Observer] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items`` deterministically, optionally in parallel.
 
@@ -162,6 +191,12 @@ def pmap(
     ``fn(item, rng)`` where ``rng`` is :func:`item_rng` for the item's
     global index — so every item's stream is independent of how the work
     is sharded or scheduled.  Results always come back in item order.
+
+    With an enabled ``observer``, ``fn`` additionally receives a per-shard
+    :class:`~repro.obs.scope.Observer` as its last argument; shard
+    observers are absorbed back into ``observer`` in shard order, so as
+    long as ``fn`` records only additive metrics (counters, histograms)
+    and events, the merged snapshot is byte-identical at any worker count.
 
     ``fn`` must be independent across items (no item may read another's
     output).  A ``fn`` that needs shared mutable in-process state should
@@ -175,24 +210,40 @@ def pmap(
     path = tuple(str(element) for element in seed_path)
     shard_count = shards if shards is not None else worker_count * SHARDS_PER_WORKER
     bounds = shard_bounds(len(item_list), shard_count)
+    if observer is not None and not observer.enabled:
+        observer = None
     if worker_count == 1 or _IN_WORKER or len(bounds) == 1 or not _is_picklable(fn):
-        return _run_serial(fn, item_list, bounds, seed, path)
+        return _run_serial(fn, item_list, bounds, seed, path, observer)
     try:
         with futures.ProcessPoolExecutor(
             max_workers=min(worker_count, len(bounds)), initializer=_mark_worker
         ) as pool:
             pending = [
                 pool.submit(
-                    _run_shard, fn, item_list[start:stop], start, seed, path
+                    _run_shard,
+                    fn,
+                    item_list[start:stop],
+                    start,
+                    seed,
+                    path,
+                    observer is not None,
                 )
                 for start, stop in bounds
             ]
             merged: List[R] = []
+            shard_observers: List[Observer] = []
             # Merge in shard-submission order; completion order is irrelevant.
             for future in pending:
-                merged.extend(future.result())
+                if observer is None:
+                    merged.extend(future.result())
+                else:
+                    results, shard_observer = future.result()
+                    merged.extend(results)
+                    shard_observers.append(shard_observer)
+            for shard_observer in shard_observers:
+                observer.absorb(shard_observer)
             return merged
     except (pickle.PicklingError, TypeError, AttributeError, futures.BrokenExecutor):
         # Unpicklable items/results, or a broken pool: per-item work is
         # independent by contract, so rerunning in-process is equivalent.
-        return _run_serial(fn, item_list, bounds, seed, path)
+        return _run_serial(fn, item_list, bounds, seed, path, observer)

@@ -22,6 +22,7 @@ from repro.crypto.descriptor_id import DescriptorId, descriptor_index_entries
 from repro.crypto.onion import OnionAddress
 from repro.faults.retry import RetryPolicy, fetch_descriptor_with_retry
 from repro.faults.taxonomy import FailureCategory, FailureTaxonomy
+from repro.obs.scope import Observer, ensure_observer
 from repro.parallel import pmap
 from repro.sim.clock import DAY, Timestamp
 
@@ -86,6 +87,7 @@ class DescriptorResolver:
         window_start: Timestamp,
         window_end: Timestamp,
         workers: Optional[int] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         """Precompute every descriptor ID each onion uses in the window.
 
@@ -106,6 +108,7 @@ class DescriptorResolver:
         recorded in :attr:`collisions`.
         """
         self.window = (window_start, window_end)
+        self._observer = ensure_observer(observer)
         self._index: Dict[DescriptorId, OnionAddress] = {}
         self._validity: Dict[DescriptorId, Tuple[Timestamp, Timestamp]] = {}
         #: descriptor ID → every onion that derived it, in database order
@@ -129,6 +132,9 @@ class DescriptorResolver:
                     continue
                 self._index[desc] = onion
                 self._validity[desc] = (period_start, period_start + DAY)
+        self._observer.gauge("resolver_database_size", self.database_size)
+        self._observer.gauge("resolver_index_size", len(self._index))
+        self._observer.gauge("resolver_collisions", self.collision_count)
 
     @property
     def index_size(self) -> int:
@@ -187,11 +193,14 @@ class DescriptorResolver:
         sorted-onion order — byte-identical at every worker count.
         """
         onions = sorted(resolution.requests_per_onion)
+        obs = self._observer
 
         def check(onion):
             if retry_policy is None:
                 return transport.has_descriptor(onion, when), 1
-            return fetch_descriptor_with_retry(transport, onion, when, retry_policy)
+            return fetch_descriptor_with_retry(
+                transport, onion, when, retry_policy, observer=obs
+            )
 
         verification = ResolutionVerification()
         for onion, (found, attempts) in zip(
@@ -208,6 +217,10 @@ class DescriptorResolver:
             else:
                 verification.lost += 1
                 verification.failures.record(FailureCategory.PERMANENT, attempts)
+            obs.count(
+                "resolver_verified_total",
+                result="still_resolvable" if found else "lost",
+            )
         return verification
 
     def resolve_normalized(

@@ -65,8 +65,12 @@ class RequestTimeSeries:
         """Whether the series is consistent with a constant-rate source.
 
         True when the observed CV is within ``tolerance`` × the Poisson
-        floor — i.e. no more bursty than pure arrival noise allows.
+        floor — i.e. no more bursty than pure arrival noise allows.  A
+        series with no traffic at all carries no shape evidence, so it is
+        neither machine- nor human-like: always False.
         """
+        if self.total == 0:
+            return False
         return self.coefficient_of_variation() <= tolerance * self.poisson_floor()
 
     def format_sparkline(self) -> str:

@@ -19,9 +19,11 @@ from repro.faults.retry import (
 from repro.faults.taxonomy import FailureCategory
 from repro.net.endpoint import ConnectOutcome
 from repro.net.transport import TorTransport
+from repro.obs.scope import Observer, ensure_observer
 from repro.parallel import pmap
 from repro.scan.results import ScanResults
 from repro.scan.schedule import ScanSchedule
+from repro.sim.clock import DAY
 
 
 class PortScanner:
@@ -32,15 +34,23 @@ class PortScanner:
     accepted as-is) and a missing descriptor earns a bounded re-fetch; each
     retried probe lands in :attr:`ScanResults.failures`.  Without a policy
     the scanner behaves exactly as before: every failure is final.
+
+    An :class:`~repro.obs.scope.Observer` records the campaign as nested
+    spans (one per scan day, a simulated day each), counts every port
+    requested (``scan_ports_requested_total`` — the counter that proves
+    priority ports are deduplicated against the day's chunk), and gauges
+    the end-of-campaign totals.
     """
 
     def __init__(
         self,
         transport: TorTransport,
         retry_policy: Optional[RetryPolicy] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self._transport = transport
         self._retry_policy = retry_policy
+        self._observer = ensure_observer(observer)
 
     def run(
         self,
@@ -63,60 +73,94 @@ class PortScanner:
         at every ``workers`` value.
         """
         onion_list: List[OnionAddress] = list(onions)
-        priority = list(extra_priority_ports)
+        priority = sorted(set(extra_priority_ports))
         policy = self._retry_policy
+        obs = self._observer
         results = ScanResults()
         results.scanned_onions = len(onion_list)
-        for _day_index, when, chunk in schedule:
+        with obs.span(
+            "scan.campaign", days=schedule.days, onions=len(onion_list)
+        ):
+            for day_index, when, chunk in schedule:
+                with obs.span("scan.day", day=day_index):
+                    obs.add_time(DAY)
+                    # Priority ports already inside today's chunk must not
+                    # be probed twice: a duplicate probe burns extra draws
+                    # from the fault/noise streams and its result silently
+                    # overwrites the chunk probe's.
+                    extra = [port for port in priority if port not in chunk]
 
-            def probe_onion(onion, _when=when, _chunk=chunk):
-                if policy is None:
-                    has_descriptor = self._transport.has_descriptor(onion, _when)
-                    fetch_attempts = 1
-                else:
-                    has_descriptor, fetch_attempts = fetch_descriptor_with_retry(
-                        self._transport, onion, _when, policy
-                    )
-                probes = self._transport.scan_ports(onion, _chunk, _when)
-                if priority:
-                    probes.update(
-                        self._transport.scan_ports(onion, priority, _when)
-                    )
-                retried = []
-                if policy is not None:
-                    # A SYN scan retries only timeouts: REFUSED never makes
-                    # it into the batch, truncation is conversation-layer.
-                    for port in sorted(probes):
-                        if probes[port].outcome is not ConnectOutcome.TIMEOUT:
-                            continue
-                        outcome = connect_with_retry(
-                            self._transport,
-                            onion,
-                            port,
-                            _when,
-                            policy,
-                            initial=probes[port],
-                            require_conversation=False,
+                    def probe_onion(onion, _when=when, _chunk=chunk, _extra=extra):
+                        if policy is None:
+                            has_descriptor = self._transport.has_descriptor(
+                                onion, _when
+                            )
+                            fetch_attempts = 1
+                        else:
+                            has_descriptor, fetch_attempts = (
+                                fetch_descriptor_with_retry(
+                                    self._transport,
+                                    onion,
+                                    _when,
+                                    policy,
+                                    observer=obs,
+                                )
+                            )
+                        obs.count(
+                            "scan_ports_requested_total",
+                            amount=len(_chunk) + len(_extra),
                         )
-                        probes[port] = outcome.result
-                        retried.append((outcome.category, outcome.attempts))
-                return has_descriptor, fetch_attempts, probes, retried
+                        probes = self._transport.scan_ports(onion, _chunk, _when)
+                        if _extra:
+                            probes.update(
+                                self._transport.scan_ports(onion, _extra, _when)
+                            )
+                        retried = []
+                        if policy is not None:
+                            # A SYN scan retries only timeouts: REFUSED never
+                            # makes it into the batch, truncation is
+                            # conversation-layer.
+                            for port in sorted(probes):
+                                if probes[port].outcome is not ConnectOutcome.TIMEOUT:
+                                    continue
+                                outcome = connect_with_retry(
+                                    self._transport,
+                                    onion,
+                                    port,
+                                    _when,
+                                    policy,
+                                    initial=probes[port],
+                                    require_conversation=False,
+                                    observer=obs,
+                                )
+                                probes[port] = outcome.result
+                                retried.append((outcome.category, outcome.attempts))
+                        return has_descriptor, fetch_attempts, probes, retried
 
-            day_probes = pmap(probe_onion, onion_list, workers=workers)
-            for onion, (has_descriptor, fetch_attempts, probes, retried) in zip(
-                onion_list, day_probes
-            ):
-                if has_descriptor:
-                    results.descriptor_onions.add(onion)
-                    if fetch_attempts > 1:
-                        results.failures.record(
-                            FailureCategory.TRANSIENT_RECOVERED, fetch_attempts
-                        )
-                results.descriptor_refetches += fetch_attempts - 1
-                for category, attempts in retried:
-                    results.failures.record(category, attempts)
-                for port, result in probes.items():
-                    results.record(onion, port, result.outcome)
+                    day_probes = pmap(probe_onion, onion_list, workers=workers)
+                    for onion, (
+                        has_descriptor,
+                        fetch_attempts,
+                        probes,
+                        retried,
+                    ) in zip(onion_list, day_probes):
+                        if has_descriptor:
+                            results.descriptor_onions.add(onion)
+                            if fetch_attempts > 1:
+                                results.failures.record(
+                                    FailureCategory.TRANSIENT_RECOVERED,
+                                    fetch_attempts,
+                                )
+                        results.descriptor_refetches += fetch_attempts - 1
+                        for category, attempts in retried:
+                            results.failures.record(category, attempts)
+                        for port, result in probes.items():
+                            results.record(onion, port, result.outcome)
+        obs.gauge("scan_descriptor_onions", len(results.descriptor_onions))
+        obs.gauge("scan_reachable_onions", len(results.reachable_onions))
+        obs.gauge("scan_open_ports", results.total_open_ports)
+        obs.gauge("scan_probes_answered", results.probes_answered)
+        obs.gauge("scan_timeouts", results.timeouts)
         return results
 
     def scan_single(

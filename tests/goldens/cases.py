@@ -36,6 +36,7 @@ def pipeline_artifacts(
     """
     from repro.experiments import run_fig1, run_fig2
     from repro.experiments.pipeline import MeasurementPipeline
+    from repro.obs import render_text
 
     pipeline = MeasurementPipeline(
         seed=PIPELINE_SEED,
@@ -48,6 +49,11 @@ def pipeline_artifacts(
     return {
         "fig1_small": fig1.report.format() + "\n\n" + fig1.format_figure(),
         "fig2_small": fig2.report.format() + "\n\n" + fig2.format_figure(),
+        # The full observability snapshot of the shared run: counters,
+        # gauges, histograms, spans and events, rendered canonically.
+        # Pinning it as a golden makes the snapshot itself subject to the
+        # byte-identical-at-any-worker-count contract.
+        "metrics_small": render_text(pipeline.observer),
     }
 
 
@@ -102,8 +108,13 @@ def _golden_table2() -> str:
     return table2_artifact(workers=1)
 
 
+def _golden_metrics() -> str:
+    return pipeline_artifacts(workers=1)["metrics_small"]
+
+
 GOLDEN_CASES = {
     "fig1_small": _golden_fig1,
     "fig1_small_faulted": _golden_fig1_faulted,
+    "metrics_small": _golden_metrics,
     "table2_small": _golden_table2,
 }

@@ -1,5 +1,7 @@
 """Tests for repro.cli."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -59,3 +61,40 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "fig3-client-geomap" in out
+
+
+class TestObservability:
+    def test_obs_prints_text_snapshot(self, capsys):
+        code = main(["obs", "--scale", "0.01", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# metrics" in out
+        assert "scan_ports_requested_total" in out
+        assert "# spans (simulated seconds)" in out
+        assert "pipeline.scan" in out
+
+    def test_obs_json_format_parses(self, capsys):
+        code = main(["obs", "--scale", "0.01", "--seed", "3", "--format", "json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in document["metrics"]}
+        assert "scan_ports_requested_total" in names
+        assert document["spans"]
+
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "metrics.txt"
+        code = main(
+            ["fig1", "--scale", "0.01", "--metrics-out", str(snap)]
+        )
+        assert code == 0
+        assert f"[metrics snapshot written to {snap}]" in capsys.readouterr().out
+        assert "# metrics" in snap.read_text()
+
+    def test_metrics_env_variable_is_the_default(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        snap = tmp_path / "metrics.json"
+        monkeypatch.setenv("REPRO_METRICS", str(snap))
+        assert main(["obs", "--scale", "0.01", "--seed", "3"]) == 0
+        capsys.readouterr()
+        json.loads(snap.read_text())

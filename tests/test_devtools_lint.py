@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` static-analysis engine (REP001–REP007)."""
+"""Tests for the ``repro lint`` static-analysis engine (REP001–REP009)."""
 
 import json
 import os
@@ -347,6 +347,70 @@ class TestRep008ExceptionSwallow:
         target.write_text("try:\n    probe()\nexcept Exception:\n    pass\n")
         findings = run_lint([str(target)], rule_ids=["REP008"]).findings
         assert findings == []
+
+
+class TestRep009AdHocInstrumentation:
+    def test_flags_print(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def f(count):\n    print('scanned', count)\n",
+            rules=["REP009"],
+        )
+        assert [f.rule for f in findings] == ["REP009"]
+        assert "Observer" in findings[0].message
+
+    def test_flags_time_perf_counter(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\nstart = time.perf_counter()\n",
+            rules=["REP009"],
+        )
+        assert [f.rule for f in findings] == ["REP009"]
+        assert "span" in findings[0].message
+
+    def test_flags_aliased_perf_counter(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from time import perf_counter as tick\nstart = tick()\n",
+            rules=["REP009"],
+        )
+        assert [f.rule for f in findings] == ["REP009"]
+
+    def test_observer_calls_are_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def f(obs):\n"
+            "    obs.count('probes_total')\n"
+            "    with obs.span('scan.day'):\n"
+            "        obs.add_time(86400)\n",
+            rules=["REP009"],
+        )
+        assert findings == []
+
+    def test_unrelated_name_print_attribute_is_clean(self, tmp_path):
+        # Only the builtin ``print`` name counts, not arbitrary attributes.
+        findings = lint_source(
+            tmp_path, "report.print_summary()\n", rules=["REP009"]
+        )
+        assert findings == []
+
+    @pytest.mark.parametrize(
+        "relative",
+        [
+            ("repro", "obs", "export.py"),
+            ("repro", "cli.py"),
+            ("benchmarks", "bench_scan.py"),
+            ("tests", "test_scan.py"),
+            ("examples", "quickstart.py"),
+        ],
+    )
+    def test_exempt_surfaces_may_print(self, tmp_path, relative):
+        target = tmp_path.joinpath(*relative)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "import time\nprint('x')\nstart = time.perf_counter()\n"
+        )
+        assert run_lint([str(target)], rule_ids=["REP009"]).findings == []
 
 
 class TestSuppression:

@@ -503,6 +503,38 @@ class TestConnectWithRetry:
         outcome = connect_with_retry(transport, ONION, 80, 100, self.POLICY)
         assert outcome.finished_at == 145
 
+    def test_initial_result_latency_is_not_recharged(self):
+        # The caller's ``when`` already includes the batched probe's latency;
+        # charging it again here would double-count it in finished_at.
+        transport = ScriptedTransport([])
+        outcome = connect_with_retry(
+            transport,
+            ONION,
+            80,
+            100,
+            self.POLICY,
+            initial=_result(ConnectOutcome.OPEN, latency=45),
+        )
+        assert outcome.attempts == 1
+        assert outcome.finished_at == 100
+        assert transport.attempts == 0
+
+    def test_initial_timeout_clock_advances_by_backoff_and_retry_only(self):
+        transport = ScriptedTransport([_result(ConnectOutcome.OPEN, latency=45)])
+        outcome = connect_with_retry(
+            transport,
+            ONION,
+            80,
+            100,
+            self.POLICY,
+            initial=_result(ConnectOutcome.TIMEOUT, latency=30),
+        )
+        delay = self.POLICY.delay_before(2, ONION, 80)
+        # The initial result's 30s must not appear anywhere: the retry fires
+        # at when + backoff and only the retry's own latency accrues.
+        assert transport.connects == [(ONION, 80, 100 + delay)]
+        assert outcome.finished_at == 100 + delay + 45
+
     def test_same_inputs_replay_identically(self):
         script = [
             _result(ConnectOutcome.TIMEOUT),
@@ -534,6 +566,38 @@ class TestFetchDescriptorWithRetry:
         found, attempts = fetch_descriptor_with_retry(transport, ONION, 0, self.POLICY)
         assert not found
         assert attempts == 1 + self.POLICY.descriptor_refetches
+
+    def test_refetch_jitter_uses_the_descriptor_stream(self):
+        # Descriptor re-fetches must not draw jitter from the port-0 stream:
+        # a genuine port-0 probe retry on the same onion would share (and
+        # therefore correlate with) the re-fetch schedule.
+        from repro.faults.retry import DESCRIPTOR_STREAM
+
+        class FetchTimeTransport(ScriptedTransport):
+            def __init__(self, descriptor):
+                super().__init__([], descriptor=descriptor)
+                self.fetch_times = []
+
+            def has_descriptor(self, onion, now):
+                self.fetch_times.append(now)
+                return super().has_descriptor(onion, now)
+
+        transport = FetchTimeTransport(descriptor=[False, True])
+        found, attempts = fetch_descriptor_with_retry(
+            transport, ONION, 100, self.POLICY
+        )
+        assert (found, attempts) == (True, 2)
+        expected = 100 + self.POLICY.delay_before(2, ONION, DESCRIPTOR_STREAM)
+        assert transport.fetch_times == [100, expected]
+        # And the label really is a distinct stream from port 0.  The
+        # default base_delay is small enough that whole-second rounding can
+        # mask the jitter, so compare with delays wide enough to show it.
+        wide = RetryPolicy(seed=1, base_delay=10_000, max_delay=100_000)
+        descriptor_delays = [
+            wide.delay_before(n, ONION, DESCRIPTOR_STREAM) for n in (2, 3, 4)
+        ]
+        port_zero_delays = [wide.delay_before(n, ONION, 0) for n in (2, 3, 4)]
+        assert descriptor_delays != port_zero_delays
 
 
 class TestFailureTaxonomy:

@@ -65,3 +65,46 @@ class TestGeoIP:
 
     def test_default_weights_cover_many_countries(self):
         assert len(COUNTRY_WEIGHTS) >= 30
+
+    def test_every_country_owns_at_least_one_block(self):
+        # Direct structural check (not via random_ip): the proportional
+        # allocation must never exhaust the cursor before every country got
+        # its guaranteed block.
+        assert all(
+            self.geoip._country_to_blocks[country]
+            for country in self.geoip.countries
+        )
+
+    def test_block_totals_are_conserved(self):
+        from repro.net.geoip import _UNICAST_FIRST_OCTETS
+
+        assigned = sum(
+            len(blocks) for blocks in self.geoip._country_to_blocks.values()
+        )
+        assert assigned == len(_UNICAST_FIRST_OCTETS)
+        assert len(self.geoip._block_to_country) == len(_UNICAST_FIRST_OCTETS)
+
+    def test_many_countries_each_get_a_block(self):
+        # Regression: with many heavy-weight countries, per-country
+        # max(1, round(...)) over-allocated alphabetically early countries
+        # and exhausted the /8 cursor, leaving later countries empty (so
+        # random_ip raised for a country the database claims to know).
+        weights = {f"C{i:03d}": 10.0 for i in range(150)}
+        weights["ZZ"] = 0.001  # alphabetically last, nearly zero weight
+        geoip = GeoIP(seed=1, weights=weights)
+        rng = random.Random(7)
+        for country in geoip.countries:
+            assert geoip.lookup(geoip.random_ip(rng, country)) == country
+
+    def test_heavy_weight_still_dominates_allocation(self):
+        geoip = GeoIP(seed=0)
+        blocks_of = {
+            country: len(blocks)
+            for country, blocks in geoip._country_to_blocks.items()
+        }
+        assert blocks_of["US"] > blocks_of["NG"]
+
+    def test_more_countries_than_blocks_rejected(self):
+        weights = {f"C{i:04d}": 1.0 for i in range(300)}
+        with pytest.raises(NetworkError):
+            GeoIP(seed=0, weights=weights)

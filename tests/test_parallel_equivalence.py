@@ -62,7 +62,7 @@ class TestExperimentEquivalence:
 
     def test_fig1_and_fig2_byte_identical(self):
         runs = [pipeline_artifacts(workers=workers) for workers in WORKER_COUNTS]
-        for name in ("fig1_small", "fig2_small"):
+        for name in ("fig1_small", "fig2_small", "metrics_small"):
             texts = {run[name] for run in runs}
             assert len(texts) == 1, f"{name} differs across worker counts"
 
@@ -89,7 +89,7 @@ class TestFaultedEquivalence:
             faulted_pipeline_artifacts(workers=workers)
             for workers in WORKER_COUNTS
         ]
-        for name in ("fig1_small", "fig2_small"):
+        for name in ("fig1_small", "fig2_small", "metrics_small"):
             texts = {run[name] for run in runs}
             assert len(texts) == 1, (
                 f"faulted {name} differs across worker counts"

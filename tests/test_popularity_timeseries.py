@@ -58,6 +58,26 @@ class TestRequestTimeSeries:
         assert series.coefficient_of_variation() == 0.0
         assert series.poisson_floor() == 0.0
 
+    def test_zero_traffic_is_not_machine_like(self):
+        # CV and the Poisson floor are both 0.0 for a silent series, which
+        # used to satisfy ``cv <= tolerance * floor`` vacuously.  No traffic
+        # carries no shape evidence: neither machine- nor human-like.
+        silent = RequestTimeSeries(start=0, bucket_seconds=HOUR, counts=[0, 0, 0])
+        empty = RequestTimeSeries(start=0, bucket_seconds=HOUR, counts=[])
+        assert not silent.is_machine_like()
+        assert not empty.is_machine_like()
+
+    def test_zero_traffic_never_classified_machine(self):
+        silent = RequestTimeSeries(start=0, bucket_seconds=HOUR, counts=[0] * 24)
+        # Default threshold: a silent service is low-volume …
+        assert classify_services_by_shape({"ghost": silent}) == {
+            "ghost": "low-volume"
+        }
+        # … and even with the volume gate disabled it must not be labelled
+        # a timer-driven (machine) source.
+        labels = classify_services_by_shape({"ghost": silent}, min_requests=0)
+        assert labels["ghost"] != "machine"
+
     def test_sparkline(self):
         series = RequestTimeSeries(start=0, bucket_seconds=HOUR, counts=[0, 4, 8])
         line = series.format_sparkline()

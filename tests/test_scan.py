@@ -6,6 +6,7 @@ from repro.crypto.onion import onion_address_from_key
 from repro.errors import AttackError
 from repro.net.endpoint import ConnectOutcome
 from repro.net.transport import TorTransport
+from repro.obs import Observer
 from repro.population.spec import PORT_SKYNET
 from repro.scan import (
     PortScanner,
@@ -131,6 +132,70 @@ class TestScannerIntegration:
             if port == PORT_SKYNET
         }
         assert outcome_set == {ConnectOutcome.ABNORMAL_ERROR}
+
+
+class TestPriorityPortDedupe:
+    """Priority ports already inside the day's chunk are probed exactly once.
+
+    Regression: the scanner used to probe ``extra_priority_ports``
+    unconditionally, so a priority port that sat inside the day's chunk was
+    hit twice — the duplicate burned extra circuit-noise draws (perturbing
+    every later probe in the run) and silently overwrote the chunk probe's
+    result.  The ``scan_ports_requested_total`` counter is the proof: it
+    counts what the scanner *asked for*, so the dedupe shows up as an exact
+    per-onion arithmetic identity.
+    """
+
+    def _scan(self, population, extra):
+        onions = [
+            record.onion
+            for record in population.records_in_group("skynet-bot")[:30]
+        ]
+        transport = TorTransport(
+            population.registry,
+            derive_rng(3, "dedupe"),
+            descriptor_available=population.descriptor_available,
+        )
+        observer = Observer(name="dedupe")
+        scanner = PortScanner(transport, observer=observer)
+        # One day, ports 1..200: the whole chunk is known exactly.
+        schedule = ScanSchedule(
+            start=population.scan_start, days=1, first_port=1, last_port=200
+        )
+        results = scanner.run(onions, schedule, extra_priority_ports=extra)
+        requested = observer.registry.counter(
+            "scan_ports_requested_total"
+        ).value
+        return results, requested, len(onions)
+
+    def test_in_chunk_priority_ports_are_not_probed_twice(
+        self, small_population
+    ):
+        # 80 and 130 both sit inside the single day's 1..200 chunk.
+        _, requested, onions = self._scan(small_population, extra=[80, 130])
+        assert onions > 0
+        assert requested == onions * 200  # pre-fix: onions * 202
+
+    def test_out_of_chunk_priority_port_is_still_probed(
+        self, small_population
+    ):
+        results, requested, onions = self._scan(
+            small_population, extra=[80, PORT_SKYNET]
+        )
+        # 80 dedupes away; 55080 is outside 1..200 and costs one probe.
+        assert requested == onions * (200 + 1)
+        assert PORT_SKYNET in {port for _, port in results.open_ports}
+
+    def test_redundant_priority_ports_change_no_results(
+        self, small_population
+    ):
+        # With every priority port inside the chunk, the probe sequence —
+        # and therefore every draw from the shared noise stream — must be
+        # identical to a run with no priority ports at all.
+        deduped, _, _ = self._scan(small_population, extra=[80, 130])
+        plain, _, _ = self._scan(small_population, extra=())
+        assert deduped.open_ports == plain.open_ports
+        assert deduped.timeouts == plain.timeouts
 
 
 class TestTlsAnalysis:
