@@ -1,0 +1,51 @@
+"""Bench: checkpoint/resume overhead of the artifact store.
+
+Measures the same small campaign three ways — uncached, cold through a
+store (pays serialisation + hashing), and warm through a store (replays
+every stage) — and asserts the warm run recomputed nothing and produced
+the identical classification.  The interesting numbers are the cold
+overhead (store tax) and the warm speedup (what resume buys).
+"""
+
+import pathlib
+
+from repro.experiments.pipeline import MeasurementPipeline
+from repro.store import ArtifactStore
+
+SEED = 3
+SCALE = 0.05
+
+
+def _campaign(store=None):
+    pipeline = MeasurementPipeline(seed=SEED, scale=SCALE, store=store)
+    pipeline.certificates()
+    return pipeline.classify()
+
+
+def test_store_cold(benchmark, tmp_path_factory):
+    """Cold run through a fresh store: compute + serialise + hash."""
+    root = tmp_path_factory.mktemp("store-cold")
+
+    def cold():
+        return _campaign(ArtifactStore(root / "s"))
+
+    outcome = benchmark.pedantic(cold, rounds=1, iterations=1)
+    benchmark.extra_info["classified_pages"] = outcome.classified_pages
+    assert outcome.classified_pages > 0
+
+
+def test_store_warm(benchmark, tmp_path_factory):
+    """Warm run: every stage replays from the store."""
+    root: pathlib.Path = tmp_path_factory.mktemp("store-warm") / "s"
+    baseline = _campaign(ArtifactStore(root))
+
+    warm_store = ArtifactStore(root)
+    outcome = benchmark.pedantic(
+        lambda: _campaign(warm_store), rounds=1, iterations=1
+    )
+
+    summary = warm_store.ledger.run_summaries()[-1]
+    benchmark.extra_info["warm_hits"] = summary["hits"]
+    assert summary["misses"] == 0, "warm run recomputed a stage"
+    assert outcome.topic_counts == baseline.topic_counts
+    assert outcome.language_counts == baseline.language_counts

@@ -8,7 +8,10 @@ refreshed from artifacts.
 
 Set ``REPRO_WORKERS=N`` (or use the ``workers`` fixture) to fan the
 parallel-safe stages out over a process pool; every report stays
-byte-identical to the serial run — only the wall-clock moves.
+byte-identical to the serial run — only the wall-clock moves.  Set
+``REPRO_STORE=DIR`` to checkpoint the campaign's stages through
+:mod:`repro.store`: a warm bench run replays cached stages instead of
+recomputing them (reports stay byte-identical either way).
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import pytest
 
 from repro.experiments.pipeline import MeasurementPipeline
 from repro.parallel import resolve_workers
+from repro.store import open_store
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 
@@ -30,9 +34,15 @@ def workers():
 
 
 @pytest.fixture(scope="session")
-def full_pipeline(workers):
+def store():
+    """Artifact store under bench: $REPRO_STORE, else off."""
+    return open_store(None)
+
+
+@pytest.fixture(scope="session")
+def full_pipeline(workers, store):
     """Full-scale (39,824-onion) scan/crawl/classify campaign."""
-    return MeasurementPipeline(seed=0, scale=1.0, workers=workers)
+    return MeasurementPipeline(seed=0, scale=1.0, workers=workers, store=store)
 
 
 @pytest.fixture(scope="session")

@@ -12,10 +12,15 @@
     python -m repro chaos  --scale 0.02 --rates 0,0.05,0.1
     python -m repro all    --scale 0.05 --fault-profile moderate
     python -m repro obs    --scale 0.02 --fault-profile moderate
+    python -m repro all    --scale 0.05 --store .repro-store
+    python -m repro store ls --store .repro-store
 
 ``--json PATH`` archives the paper-vs-measured report via :mod:`repro.io`.
 ``--metrics-out PATH`` (or ``$REPRO_METRICS``) additionally archives the
 run's deterministic metrics/span snapshot (see :mod:`repro.obs`).
+``--store DIR`` (or ``$REPRO_STORE``) checkpoints stage artifacts through
+:mod:`repro.store`; a warm re-run replays every cached stage and emits
+byte-identical reports.
 Scale 1.0 is the paper's full size; small scales run in seconds.
 """
 
@@ -66,6 +71,26 @@ def _add_fault_profile(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint stage artifacts in this store directory (default: "
+            "$REPRO_STORE, then off; warm re-runs skip cached stages and "
+            "emit byte-identical reports)"
+        ),
+    )
+
+
+def _open_store(args):
+    """The run's ArtifactStore, or None when no store is configured."""
+    from repro.store import open_store
+
+    return open_store(getattr(args, "store", None))
+
+
 def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -109,9 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common(command)
         _add_fault_profile(command)
         _add_metrics_out(command)
+        _add_store(command)
 
     table2 = sub.add_parser("table2", help="Table II: popularity ranking")
     _add_common(table2, scale_default=0.05)
+    _add_store(table2)
     table2.add_argument("--sweep-hours", type=int, default=6)
     table2.add_argument("--rotation-hours", type=int, default=1)
     table2.add_argument("--relays-per-ip", type=int, default=16)
@@ -137,17 +164,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     sec7 = sub.add_parser("sec7", help="§VII: Silk Road tracking detection")
     _add_common(sec7, scale_default=0.25)
+    _add_store(sec7)
 
     harvest = sub.add_parser("harvest", help="shadow-relay harvest validation")
     _add_common(harvest, scale_default=0.05)
     harvest.add_argument("--ips", type=int, default=20)
     harvest.add_argument("--relays-per-ip", type=int, default=16)
     harvest.add_argument("--sweep-hours", type=int, default=10)
+    _add_store(harvest)
 
     everything = sub.add_parser("all", help="run every experiment (small scale)")
     _add_common(everything, scale_default=0.05)
     _add_fault_profile(everything)
     _add_metrics_out(everything)
+    _add_store(everything)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or maintain an artifact store (ls, gc, verify)",
+        description=(
+            "Operate on a repro.store directory: 'ls' renders the run "
+            "ledger and indexed artifacts, 'gc' deletes objects no index "
+            "entry references, 'verify' re-hashes every object and exits "
+            "1 on corruption."
+        ),
+    )
+    store.add_argument("action", choices=("ls", "gc", "verify"))
+    _add_store(store)
 
     obs = sub.add_parser(
         "obs",
@@ -199,13 +242,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="check determinism & convention rules (REP001-REP009)",
+        help="check determinism & convention rules (REP001-REP010)",
         description=(
             "Static analysis over the given paths: seeded-RNG discipline, "
             "sim-clock usage, the repro.errors hierarchy, stable set "
-            "ordering, import layering, raw-concurrency containment, and "
-            "ad-hoc instrumentation (use repro.obs, not print/perf_counter). "
-            "Exits 1 when findings remain."
+            "ordering, import layering, raw-concurrency containment, "
+            "ad-hoc instrumentation (use repro.obs, not print/perf_counter), "
+            "and artifact-write containment (use repro.io/repro.store, not "
+            "raw open/json.dump). Exits 1 when findings remain."
         ),
     )
     lint.add_argument(
@@ -257,6 +301,7 @@ def _run_fig1(args) -> ExperimentReport:
         scale=args.scale,
         workers=args.workers,
         fault_profile=args.fault_profile,
+        store=_open_store(args),
     )
     _emit(result.report, result.format_figure(), args.json)
     _write_metrics(result.pipeline.observer if result.pipeline else None, args)
@@ -271,6 +316,7 @@ def _run_table1(args) -> ExperimentReport:
         scale=args.scale,
         workers=args.workers,
         fault_profile=args.fault_profile,
+        store=_open_store(args),
     )
     _emit(result.report, result.format_table(), args.json)
     _write_metrics(result.pipeline.observer if result.pipeline else None, args)
@@ -285,6 +331,7 @@ def _run_fig2(args) -> ExperimentReport:
         scale=args.scale,
         workers=args.workers,
         fault_profile=args.fault_profile,
+        store=_open_store(args),
     )
     _emit(result.report, result.format_figure(), args.json)
     _write_metrics(result.pipeline.observer if result.pipeline else None, args)
@@ -325,6 +372,7 @@ def _run_table2(args) -> ExperimentReport:
         relays_per_ip=args.relays_per_ip,
         thinning=args.thinning,
         workers=args.workers,
+        store=_open_store(args),
     )
     _emit(result.report, result.ranking.format_table(limit=args.top), args.json)
     return result.report
@@ -362,7 +410,12 @@ def _run_sec6(args) -> ExperimentReport:
 def _run_sec7(args) -> ExperimentReport:
     from repro.experiments import run_sec7
 
-    result = run_sec7(seed=args.seed, scale=args.scale, workers=args.workers)
+    result = run_sec7(
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        store=_open_store(args),
+    )
     _emit(result.report, json_path=args.json)
     return result.report
 
@@ -376,6 +429,7 @@ def _run_harvest(args) -> ExperimentReport:
         ip_count=args.ips,
         relays_per_ip=args.relays_per_ip,
         sweep_hours=args.sweep_hours,
+        store=_open_store(args),
     )
     _emit(result.report, json_path=args.json)
     return result.report
@@ -393,11 +447,16 @@ def _run_all(args) -> ExperimentReport:
     )
     from repro.experiments.pipeline import MeasurementPipeline
 
+    # One store serves the whole run: the pipeline stages and the
+    # table2/sec7/harvest experiments all checkpoint into it, so a warm
+    # re-run recomputes nothing (fig3/sec6 are seconds-cheap and uncached).
+    store = _open_store(args)
     pipeline = MeasurementPipeline(
         seed=args.seed,
         scale=args.scale,
         workers=args.workers,
         fault_profile=args.fault_profile,
+        store=store,
     )
     summary = ExperimentReport(experiment="all-experiments")
     stages = [
@@ -413,6 +472,7 @@ def _run_all(args) -> ExperimentReport:
                 rotation_interval_hours=1,
                 relays_per_ip=16,
                 workers=args.workers,
+                store=store,
             ),
         ),
         ("fig3", lambda: run_fig3(seed=args.seed, honest_relays=300, client_count=800)),
@@ -422,12 +482,17 @@ def _run_all(args) -> ExperimentReport:
                 seed=args.seed,
                 scale=max(0.1, args.scale * 4),
                 workers=args.workers,
+                store=store,
             ),
         ),
         (
             "harvest",
             lambda: run_harvest(
-                seed=args.seed, scale=args.scale, ip_count=16, relays_per_ip=16
+                seed=args.seed,
+                scale=args.scale,
+                ip_count=16,
+                relays_per_ip=16,
+                store=store,
             ),
         ),
     ]
@@ -465,6 +530,31 @@ def _run_obs(args) -> int:
         print(render_text(pipeline.observer))
     _write_metrics(pipeline.observer, args)
     return 0
+
+
+def _run_store(args) -> int:
+    from repro.store.admin import gc, ls_lines, verify
+
+    store = _open_store(args)
+    if store is None:
+        print(
+            "repro store: no store configured (use --store DIR or $REPRO_STORE)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "ls":
+        for line in ls_lines(store):
+            print(line)
+        return 0
+    if args.action == "gc":
+        removed, freed = gc(store)
+        print(f"[gc: removed {removed} object(s), freed {freed} bytes]")
+        return 0
+    problems = verify(store)
+    for problem in problems:
+        print(problem)
+    print(f"[verify: {len(problems)} problem(s)]")
+    return 0 if not problems else 1
 
 
 def _run_lint(args) -> int:
@@ -527,6 +617,7 @@ _RUNNERS = {
     "harvest": _run_harvest,
     "all": _run_all,
     "obs": _run_obs,
+    "store": _run_store,
     "lint": _run_lint,
 }
 

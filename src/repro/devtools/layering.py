@@ -44,6 +44,10 @@ FORBIDDEN_IMPORTS: Dict[str, frozenset] = {
     # The observability plane is threaded through every layer; if it
     # imported measurement code the dependency arrows would invert.
     "obs": _MEASUREMENT_LAYERS,
+    # The artifact store checkpoints measurement stages but must stay
+    # payload-agnostic: stages hand it encode/decode callables, so it
+    # never needs (and must never take) a measurement-layer import.
+    "store": _MEASUREMENT_LAYERS,
 }
 
 

@@ -1,4 +1,4 @@
-"""Per-file AST rules REP001–REP005, REP007, REP008 and REP009.
+"""Per-file AST rules REP001–REP005, REP007, REP008, REP009 and REP010.
 
 Each rule walks the file's AST and yields :class:`Finding` objects.  The
 rules are deliberately syntactic — no type inference — so every pattern
@@ -478,3 +478,118 @@ class AdHocInstrumentationRule(AstRule):
                     "stage in Observer.span(...) so the duration lands in "
                     "the deterministic snapshot",
                 )
+
+
+#: Places allowed to write files directly: the serialisation layer, the
+#: artifact store (atomic writes are its job), the metrics exporter, the
+#: lint tooling (baselines), benchmarks, tests and examples.
+_ARTIFACT_WRITE_EXEMPT_FRAGMENTS = (
+    "repro/io",
+    "repro/store/",
+    "repro/obs/export",
+    "repro/devtools/",
+    "benchmarks/",
+    "tests/",
+    "examples/",
+)
+
+#: The CLI prints and archives reports on request — writing is its job.
+_ARTIFACT_WRITE_EXEMPT_SUFFIXES = ("repro/cli.py",)
+
+#: Characters in an ``open`` mode string that imply writing.
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _write_mode(node: ast.Call, position: int = 1) -> str:
+    """The call's constant mode string when it implies writing, else ''.
+
+    ``position`` is where the positional mode argument sits: 1 for the
+    ``open(path, mode)`` builtin, 0 for the ``path.open(mode)`` method.
+    """
+    mode = None
+    if len(node.args) > position:
+        mode = node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and _WRITE_MODE_CHARS & set(mode.value)
+    ):
+        return mode.value
+    return ""
+
+
+@register
+class ArtifactWriteRule(AstRule):
+    """REP010: direct artifact writes outside the sanctioned layers.
+
+    Ad-hoc ``open(path, "w")`` / ``json.dump`` / ``.write_text`` calls
+    scatter artifact formats across the tree, skip schema versioning, and
+    are not atomic — a killed process leaves a torn file the next run
+    trusts.  Serialise through :mod:`repro.io` (schema-checked loaders,
+    one format per artifact) or checkpoint through :mod:`repro.store`
+    (content-addressed, write-then-rename); only the io/store/obs-export
+    planes, devtools, the CLI, benchmarks, tests and examples write raw.
+    """
+
+    id = "REP010"
+    summary = "direct artifact write (use repro.io or repro.store)"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if any(
+            fragment in ctx.path
+            for fragment in _ARTIFACT_WRITE_EXEMPT_FRAGMENTS
+        ):
+            return False
+        return not ctx.path_endswith(*_ARTIFACT_WRITE_EXEMPT_SUFFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _write_mode(node)
+                if mode:
+                    yield _finding(
+                        self,
+                        ctx,
+                        node,
+                        f"open(..., {mode!r}) writes an artifact ad hoc; "
+                        "serialise through repro.io or checkpoint through "
+                        "repro.store",
+                    )
+            elif isinstance(func, ast.Attribute):
+                if func.attr in ("write_text", "write_bytes"):
+                    yield _finding(
+                        self,
+                        ctx,
+                        node,
+                        f".{func.attr}(...) writes an artifact ad hoc; "
+                        "serialise through repro.io or checkpoint through "
+                        "repro.store",
+                    )
+                elif func.attr == "open" and _write_mode(node, position=0):
+                    yield _finding(
+                        self,
+                        ctx,
+                        node,
+                        ".open(...) in write mode writes an artifact ad "
+                        "hoc; serialise through repro.io or checkpoint "
+                        "through repro.store",
+                    )
+                elif (
+                    func.attr == "dump"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "json"
+                ):
+                    yield _finding(
+                        self,
+                        ctx,
+                        node,
+                        "json.dump(...) writes an artifact ad hoc; "
+                        "serialise through repro.io (save_json) or "
+                        "checkpoint through repro.store",
+                    )

@@ -75,5 +75,18 @@ class ParallelError(ReproError):
     """The deterministic parallel executor was configured incorrectly."""
 
 
+class StoreError(ReproError):
+    """The artifact store was configured or used incorrectly."""
+
+
+class StoreCorruptionError(StoreError):
+    """A stored artifact's bytes no longer match its content address."""
+
+    def __init__(self, message: str, digest: str = ""):
+        super().__init__(message)
+        #: Content address of the damaged object, when known.
+        self.digest = digest
+
+
 class ObservabilityError(ReproError):
     """A metric, span, or snapshot in repro.obs was used incorrectly."""

@@ -8,6 +8,7 @@ from typing import Optional
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import format_bar_chart
 from repro.experiments.pipeline import MeasurementPipeline
+from repro.store import ArtifactStore
 from repro.scan.results import PortDistribution
 
 # Published Fig 1 counts (full scale).
@@ -52,11 +53,16 @@ def run_fig1(
     pipeline: Optional[MeasurementPipeline] = None,
     workers: Optional[int] = None,
     fault_profile: Optional[str] = None,
+    store: Optional[ArtifactStore] = None,
 ) -> Fig1Result:
     """Regenerate Fig 1 (and the TLS findings) at ``scale``."""
     if pipeline is None:
         pipeline = MeasurementPipeline(
-            seed=seed, scale=scale, workers=workers, fault_profile=fault_profile
+            seed=seed,
+            scale=scale,
+            workers=workers,
+            fault_profile=fault_profile,
+            store=store,
         )
     else:
         scale = pipeline.population.spec.total_onions / 39_824

@@ -51,11 +51,16 @@ def run_fig2(
     pipeline: Optional[MeasurementPipeline] = None,
     workers: Optional[int] = None,
     fault_profile: Optional[str] = None,
+    store: Optional[ArtifactStore] = None,
 ) -> Fig2Result:
     """Regenerate Fig 2 at ``scale``."""
     if pipeline is None:
         pipeline = MeasurementPipeline(
-            seed=seed, scale=scale, workers=workers, fault_profile=fault_profile
+            seed=seed,
+            scale=scale,
+            workers=workers,
+            fault_profile=fault_profile,
+            store=store,
         )
     else:
         scale = pipeline.population.spec.total_onions / 39_824

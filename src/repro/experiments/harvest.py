@@ -7,16 +7,30 @@ attacker would need (footnote 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
 
 from repro.analysis.report import ExperimentReport
 from repro.hs.publisher import PublishScheduler
 from repro.population import GeneratedPopulation, generate_population
 from repro.sim.clock import DAY, HOUR, Timestamp
 from repro.sim.rng import derive_rng
+from repro.store import ArtifactStore, Stage
 from repro.trawl import HarvestResult, TrawlAttack, TrawlConfig, naive_ip_requirement
 from repro.worldbuild import HonestNetworkSpec, build_honest_network
+
+#: Modules whose source feeds the harvest checkpoint's code fingerprint.
+_HARVEST_MODULES = (
+    "repro.experiments.harvest",
+    "repro.hs.publisher",
+    "repro.population.generator",
+    "repro.population.spec",
+    "repro.sim.rng",
+    "repro.tornet",
+    "repro.trawl.attack",
+    "repro.trawl.coverage",
+    "repro.worldbuild",
+)
 
 PAPER_ONIONS = 39_824
 PAPER_ATTACK_IPS = 58
@@ -26,14 +40,46 @@ PAPER_HSDIR_COUNT_2013 = 1_300  # ring size at measurement time (approx.)
 
 @dataclass
 class HarvestExperimentResult:
-    """Outcome of the harvest validation."""
+    """Outcome of the harvest validation.
 
-    harvest: HarvestResult
-    published_onions: int
-    harvest_fraction: float
-    naive_ips_needed: int
-    hsdir_count: int
+    ``harvest`` (the raw per-onion collection) is ``None`` when the result
+    was replayed from a store checkpoint; the scored aggregates and the
+    report round-trip.
+    """
+
+    harvest: Optional[HarvestResult] = None
+    published_onions: int = 0
+    harvest_fraction: float = 0.0
+    naive_ips_needed: int = 0
+    hsdir_count: int = 0
     report: ExperimentReport = field(default_factory=lambda: ExperimentReport("harvest"))
+
+
+def _harvest_to_payload(result: HarvestExperimentResult) -> Dict[str, Any]:
+    """Checkpoint encoding: the scored aggregates plus the report."""
+    from repro import io as repro_io
+
+    return {
+        "report": repro_io.report_to_dict(result.report),
+        "published_onions": result.published_onions,
+        "harvest_fraction": result.harvest_fraction,
+        "naive_ips_needed": result.naive_ips_needed,
+        "hsdir_count": result.hsdir_count,
+    }
+
+
+def _harvest_from_payload(data: Dict[str, Any]) -> HarvestExperimentResult:
+    """Inverse of :func:`_harvest_to_payload` (raw harvest stays None)."""
+    from repro import io as repro_io
+
+    result = HarvestExperimentResult(
+        published_onions=data["published_onions"],
+        harvest_fraction=data["harvest_fraction"],
+        naive_ips_needed=data["naive_ips_needed"],
+        hsdir_count=data["hsdir_count"],
+    )
+    result.report = repro_io.report_from_dict(data["report"])
+    return result
 
 
 def run_harvest(
@@ -44,14 +90,47 @@ def run_harvest(
     ip_count: int = 58,
     relays_per_ip: int = 24,
     sweep_hours: int = 12,
+    store: Optional[ArtifactStore] = None,
 ) -> HarvestExperimentResult:
-    """Run the shadow-relay harvest and score its coverage."""
+    """Run the shadow-relay harvest and score its coverage.
+
+    With ``store`` the whole validation is one checkpoint; a warm run
+    replays the aggregates and report without rebuilding the network.
+    """
     if population is None:
         population = generate_population(seed=seed, scale=scale)
     else:
         scale = population.spec.total_onions / PAPER_ONIONS
     if relay_count is None:
         relay_count = max(60, round(1_450 * scale))
+
+    if store is not None:
+        stage = Stage(
+            name="harvest",
+            modules=_HARVEST_MODULES,
+            encode=_harvest_to_payload,
+            decode=_harvest_from_payload,
+        )
+        key_config = {
+            "seed": seed,
+            "population": {"seed": population.seed, "spec": asdict(population.spec)},
+            "relay_count": relay_count,
+            "ip_count": ip_count,
+            "relays_per_ip": relays_per_ip,
+            "sweep_hours": sweep_hours,
+        }
+        return store.run(
+            stage,
+            key_config,
+            lambda: run_harvest(
+                seed=seed,
+                population=population,
+                relay_count=relay_count,
+                ip_count=ip_count,
+                relays_per_ip=relays_per_ip,
+                sweep_hours=sweep_hours,
+            ),
+        )
 
     start: Timestamp = population.harvest_date - (26 + 2) * HOUR
     network, pool = build_honest_network(

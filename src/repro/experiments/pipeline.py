@@ -8,8 +8,9 @@ drivers pull the stage they report on.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.classify import (
     LanguageDetector,
@@ -29,7 +30,7 @@ from repro.faults import (
 )
 from repro.net.transport import TorTransport
 from repro.obs.scope import Observer, ensure_observer
-from repro.parallel import pmap
+from repro.parallel import pmap, resolve_workers
 from repro.population import GeneratedPopulation, generate_population
 from repro.population.spec import PORT_SKYNET
 from repro.scan import (
@@ -42,6 +43,63 @@ from repro.scan import (
 )
 from repro.sim.clock import DAY
 from repro.sim.rng import derive_rng
+from repro.store import ArtifactStore, Stage, StateCursor
+
+#: Modules every stage's behaviour depends on: the transport and fault
+#: plane that answer probes, the RNG/clock substrate, and the world
+#: generator.  Each stage adds its own implementation modules on top;
+#: together they form the stage's code fingerprint, so editing any of
+#: them invalidates the affected checkpoints.
+_CORE_MODULES: Tuple[str, ...] = (
+    "repro.experiments.pipeline",
+    "repro.faults.plan",
+    "repro.faults.retry",
+    "repro.faults.transport",
+    "repro.net.endpoint",
+    "repro.net.transport",
+    "repro.population.generator",
+    "repro.population.spec",
+    "repro.sim.clock",
+    "repro.sim.rng",
+)
+
+_SCAN_MODULES = _CORE_MODULES + (
+    "repro.scan.results",
+    "repro.scan.scanner",
+    "repro.scan.schedule",
+)
+_CERT_MODULES = _CORE_MODULES + ("repro.scan.tls",)
+_CRAWL_MODULES = _CORE_MODULES + (
+    "repro.crawl.crawler",
+    "repro.crawl.page",
+)
+_CLASSIFY_MODULES = _CORE_MODULES + (
+    "repro.classify.language",
+    "repro.classify.naive_bayes",
+    "repro.classify.tokenize",
+    "repro.classify.topics",
+    "repro.crawl.filters",
+)
+
+
+class _TransportCursor(StateCursor):
+    """Checkpoint cursor over the pipeline's transport stream state.
+
+    The transport's circuit RNG and attempt counters carry across stages,
+    so a cache hit must leave them exactly where running the stage would
+    have; the store captures this cursor before each stage (it becomes
+    part of the cache key) and restores the recorded post-stage snapshot
+    on a hit.
+    """
+
+    def __init__(self, transport: Any) -> None:
+        self._transport = transport
+
+    def capture(self) -> Dict[str, Any]:
+        return self._transport.stream_state()
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._transport.restore_stream_state(state)
 
 
 def _classify_page(
@@ -117,6 +175,7 @@ class MeasurementPipeline:
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         observer: Optional[Observer] = None,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         self.seed = seed
         #: The campaign's observability scope: every stage, the transport,
@@ -156,6 +215,16 @@ class MeasurementPipeline:
             fault_plan,
             observer=self.observer,
         )
+        #: Optional artifact store (repro.store): when present, each stage
+        #: checkpoints through it — cache hits skip the compute entirely
+        #: and restore the transport cursor, so warm runs stay
+        #: byte-identical to cold ones.  None (the default) leaves every
+        #: stage exactly as before the store existed.
+        self.store = store
+        if store is not None and not store.observer.enabled:
+            # Adopt the campaign observer so hit/miss/byte counters land in
+            # the same snapshot as the stages they describe.
+            store.observer = self.observer
         self._scan: Optional[ScanResults] = None
         self._certs: Optional[CertificateAnalysis] = None
         self._crawl: Optional[CrawlResults] = None
@@ -164,48 +233,127 @@ class MeasurementPipeline:
         self._language_detector: Optional[LanguageDetector] = None
         self._topic_classifier: Optional[TopicClassifier] = None
 
+    # -- checkpointing ----------------------------------------------------- #
+
+    def _store_config(self) -> Dict[str, Any]:
+        """Everything configurable that shapes stage artifacts.
+
+        Part of every stage's cache key: two pipelines with equal configs
+        (and equal code and upstream artifacts) produce identical
+        artifacts; any difference here keys — and caches — separately.
+        """
+        policy = self.retry_policy
+        return {
+            "seed": self.seed,
+            "population": {
+                "seed": self.population.seed,
+                "spec": dataclasses.asdict(self.population.spec),
+            },
+            "scan_days": self.scan_days,
+            "faults": self.fault_plan.describe(),
+            "retry_policy": dataclasses.asdict(policy) if policy else None,
+            "workers": resolve_workers(self.workers),
+        }
+
+    def _run_stage(
+        self,
+        name: str,
+        modules: Tuple[str, ...],
+        encode: Callable[[Any], Dict[str, Any]],
+        decode: Callable[[Dict[str, Any]], Any],
+        compute: Callable[[], Any],
+        upstream: Tuple[str, ...] = (),
+    ) -> Any:
+        """Run one stage, through the store's checkpoint when configured."""
+        if self.store is None:
+            return compute()
+        stage = Stage(name=name, modules=modules, encode=encode, decode=decode)
+        return self.store.run(
+            stage,
+            self._store_config(),
+            compute,
+            cursor=_TransportCursor(self.transport),
+            upstream=upstream,
+        )
+
     # -- stages ---------------------------------------------------------- #
 
     def scan(self) -> ScanResults:
         """Stage 1: the 8-day port scan (Section III)."""
         if self._scan is None:
-            schedule = ScanSchedule(
-                start=self.population.scan_start, days=self.scan_days
+            from repro import io as repro_io
+
+            self._scan = self._run_stage(
+                "scan",
+                _SCAN_MODULES,
+                repro_io.scan_to_dict,
+                repro_io.scan_from_dict,
+                self._compute_scan,
             )
-            with self.observer.span("pipeline.scan"):
-                self._scan = PortScanner(
-                    self.transport,
-                    retry_policy=self.retry_policy,
-                    observer=self.observer,
-                ).run(self.population.all_onions, schedule, workers=self.workers)
         return self._scan
+
+    def _compute_scan(self) -> ScanResults:
+        schedule = ScanSchedule(start=self.population.scan_start, days=self.scan_days)
+        with self.observer.span("pipeline.scan"):
+            return PortScanner(
+                self.transport,
+                retry_policy=self.retry_policy,
+                observer=self.observer,
+            ).run(self.population.all_onions, schedule, workers=self.workers)
 
     def certificates(self) -> CertificateAnalysis:
         """Stage 1b: HTTPS certificate analysis (Section III)."""
         if self._certs is None:
-            scan = self.scan()
-            https = scan.onions_with_port(443)
-            when = self.population.scan_start + self.scan_days * DAY
-            with self.observer.span("pipeline.certificates", https_onions=len(https)):
-                certs = collect_certificates(self.transport, https, when)
-                self._certs = analyze_certificates(certs)
-            self.observer.gauge("certificates_collected", len(certs))
+            from repro import io as repro_io
+
+            self.scan()  # the upstream artifact feeds this stage's key
+            self._certs = self._run_stage(
+                "certificates",
+                _CERT_MODULES,
+                repro_io.certificates_to_dict,
+                repro_io.certificates_from_dict,
+                self._compute_certificates,
+                upstream=("scan",),
+            )
         return self._certs
+
+    def _compute_certificates(self) -> CertificateAnalysis:
+        scan = self.scan()
+        https = scan.onions_with_port(443)
+        when = self.population.scan_start + self.scan_days * DAY
+        with self.observer.span("pipeline.certificates", https_onions=len(https)):
+            certs = collect_certificates(self.transport, https, when)
+            analysis = analyze_certificates(certs)
+        self.observer.gauge("certificates_collected", len(certs))
+        return analysis
 
     def crawl(self) -> CrawlResults:
         """Stage 2: the HTTP(S) crawl two months later (Section IV)."""
         if self._crawl is None:
-            destinations = self.scan().destinations_excluding(PORT_SKYNET)
-            crawler = Crawler(
-                self.transport,
-                retry_policy=self.retry_policy,
-                observer=self.observer,
+            from repro import io as repro_io
+
+            self.scan()
+            self._crawl = self._run_stage(
+                "crawl",
+                _CRAWL_MODULES,
+                repro_io.crawl_to_dict,
+                repro_io.crawl_from_dict,
+                self._compute_crawl,
+                upstream=("scan",),
             )
-            with self.observer.span("pipeline.crawl"):
-                self._crawl = crawler.crawl(
-                    destinations, self.population.crawl_date, workers=self.workers
-                )
         return self._crawl
+
+    def _compute_crawl(self) -> CrawlResults:
+        destinations = self.scan().destinations_excluding(PORT_SKYNET)
+        crawler = Crawler(
+            self.transport,
+            retry_policy=self.retry_policy,
+            observer=self.observer,
+        )
+        with self.observer.span("pipeline.crawl"):
+            return crawler.crawl(
+                destinations, self.population.crawl_date, workers=self.workers
+            )
 
     def classifiable(self) -> ClassifiableSet:
         """Stage 3: the exclusion funnel."""
@@ -223,37 +371,50 @@ class MeasurementPipeline:
         exactly.
         """
         if self._classification is None:
-            outcome = ClassificationOutcome()
-            pages = self.classifiable().pages
-            with self.observer.span("pipeline.classify", pages=len(pages)):
-                assignments = pmap(
-                    functools.partial(
-                        _classify_page,
-                        detector=self.language_detector,
-                        classifier=self.topic_classifier,
-                    ),
-                    pages,
-                    workers=self.workers,
-                    observer=self.observer,
-                )
-            for page, (language, is_default, topic) in zip(pages, assignments):
-                outcome.classified_pages += 1
-                outcome.page_languages[page.destination] = language
-                outcome.language_counts[language] = (
-                    outcome.language_counts.get(language, 0) + 1
-                )
-                if language != "en":
-                    continue
-                outcome.english_pages += 1
-                if is_default:
-                    outcome.torhost_default_count += 1
-                    continue
-                outcome.page_topics[page.destination] = topic
-                outcome.topic_counts[topic] = outcome.topic_counts.get(topic, 0) + 1
-            self.observer.gauge("classify_pages", outcome.classified_pages)
-            self.observer.gauge("classify_english_pages", outcome.english_pages)
-            self._classification = outcome
+            from repro import io as repro_io
+
+            self.crawl()
+            self._classification = self._run_stage(
+                "classify",
+                _CLASSIFY_MODULES,
+                repro_io.classification_to_dict,
+                repro_io.classification_from_dict,
+                self._compute_classify,
+                upstream=("crawl",),
+            )
         return self._classification
+
+    def _compute_classify(self) -> ClassificationOutcome:
+        outcome = ClassificationOutcome()
+        pages = self.classifiable().pages
+        with self.observer.span("pipeline.classify", pages=len(pages)):
+            assignments = pmap(
+                functools.partial(
+                    _classify_page,
+                    detector=self.language_detector,
+                    classifier=self.topic_classifier,
+                ),
+                pages,
+                workers=self.workers,
+                observer=self.observer,
+            )
+        for page, (language, is_default, topic) in zip(pages, assignments):
+            outcome.classified_pages += 1
+            outcome.page_languages[page.destination] = language
+            outcome.language_counts[language] = (
+                outcome.language_counts.get(language, 0) + 1
+            )
+            if language != "en":
+                continue
+            outcome.english_pages += 1
+            if is_default:
+                outcome.torhost_default_count += 1
+                continue
+            outcome.page_topics[page.destination] = topic
+            outcome.topic_counts[topic] = outcome.topic_counts.get(topic, 0) + 1
+        self.observer.gauge("classify_pages", outcome.classified_pages)
+        self.observer.gauge("classify_english_pages", outcome.english_pages)
+        return outcome
 
     # -- shared models ---------------------------------------------------- #
 

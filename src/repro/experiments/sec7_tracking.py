@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.report import ExperimentReport
 from repro.detection import (
@@ -14,7 +14,18 @@ from repro.detection import (
 )
 from repro.detection.analyzer import ServerKey
 from repro.detection.silkroad import SilkroadWorld
+from repro.parallel import resolve_workers
 from repro.sim.clock import Timestamp, parse_date
+from repro.store import ArtifactStore, Stage
+
+#: Modules whose source feeds the sec7 checkpoint's code fingerprint.
+_SEC7_MODULES = (
+    "repro.detection.analyzer",
+    "repro.detection.rules",
+    "repro.detection.silkroad",
+    "repro.experiments.sec7_tracking",
+    "repro.sim.rng",
+)
 
 YEAR_WINDOWS: Tuple[Tuple[str, str, str], ...] = (
     ("year1", "2011-02-01", "2011-12-31"),
@@ -33,9 +44,14 @@ PAPER_FINDINGS = {
 
 @dataclass
 class Sec7Result:
-    """Detection outcome per year window plus ground-truth scoring."""
+    """Detection outcome per year window plus ground-truth scoring.
 
-    world: SilkroadWorld
+    ``world`` (and the per-year detection state) is ``None`` when the
+    result was replayed from a store checkpoint — only the report, which
+    is what the CLI emits, round-trips.
+    """
+
+    world: Optional[SilkroadWorld] = None
     yearly_reports: Dict[str, TrackingReport] = field(default_factory=dict)
     likely_by_year: Dict[str, Dict[ServerKey, List[str]]] = field(default_factory=dict)
     takeovers: List[Tuple[Timestamp, List[ServerKey]]] = field(default_factory=list)
@@ -69,14 +85,56 @@ class Sec7Result:
         )
 
 
+def _sec7_to_payload(result: Sec7Result) -> Dict[str, Any]:
+    """Checkpoint encoding: only the report (the CLI's whole output)."""
+    from repro import io as repro_io
+
+    return {"report": repro_io.report_to_dict(result.report)}
+
+
+def _sec7_from_payload(data: Dict[str, Any]) -> Sec7Result:
+    """Inverse of :func:`_sec7_to_payload` (detection state stays None)."""
+    from repro import io as repro_io
+
+    result = Sec7Result()
+    result.report = repro_io.report_from_dict(data["report"])
+    return result
+
+
 def run_sec7(
     seed: int = 0,
     scale: float = 1.0,
     config: Optional[SilkroadStudyConfig] = None,
     world: Optional[SilkroadWorld] = None,
     workers: Optional[int] = None,
+    store: Optional[ArtifactStore] = None,
 ) -> Sec7Result:
-    """Regenerate the Section VII analysis."""
+    """Regenerate the Section VII analysis.
+
+    With ``store`` (and no pre-built ``world``, whose identity the cache
+    key could not capture) the whole analysis is one checkpoint; a warm
+    run replays just the report.
+    """
+    if store is not None and world is None:
+        stage = Stage(
+            name="sec7",
+            modules=_SEC7_MODULES,
+            encode=_sec7_to_payload,
+            decode=_sec7_from_payload,
+        )
+        study_config = (
+            config if config is not None else SilkroadStudyConfig(seed=seed, scale=scale)
+        )
+        key_config = {
+            "seed": seed,
+            "study": asdict(study_config),
+            "workers": resolve_workers(workers),
+        }
+        return store.run(
+            stage,
+            key_config,
+            lambda: run_sec7(seed=seed, scale=scale, config=config, workers=workers),
+        )
     if world is None:
         if config is None:
             config = SilkroadStudyConfig(seed=seed, scale=scale)

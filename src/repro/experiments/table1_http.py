@@ -9,6 +9,7 @@ from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import format_rows
 from repro.crawl.filters import destinations_summary
 from repro.experiments.pipeline import MeasurementPipeline
+from repro.store import ArtifactStore
 
 # Published Table I (full scale) plus the Section IV funnel numbers.
 PAPER_TABLE1 = {"80": 3_741, "443": 1_289, "22": 1_094, "8080": 4, "Other": 451}
@@ -41,11 +42,16 @@ def run_table1(
     pipeline: Optional[MeasurementPipeline] = None,
     workers: Optional[int] = None,
     fault_profile: Optional[str] = None,
+    store: Optional[ArtifactStore] = None,
 ) -> Table1Result:
     """Regenerate Table I at ``scale``."""
     if pipeline is None:
         pipeline = MeasurementPipeline(
-            seed=seed, scale=scale, workers=workers, fault_profile=fault_profile
+            seed=seed,
+            scale=scale,
+            workers=workers,
+            fault_profile=fault_profile,
+            store=store,
         )
     else:
         scale = pipeline.population.spec.total_onions / 39_824

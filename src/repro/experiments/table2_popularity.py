@@ -9,8 +9,8 @@ addresses and *investigate* the anonymous head (the Goldnet forensics).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.report import ExperimentReport
 from repro.client.workload import PopularityWorkload, WorkloadReport
@@ -30,11 +30,28 @@ from repro.popularity import (
 )
 from repro.popularity.labels import GoldnetFinding
 from repro.population import GeneratedPopulation, generate_population
+from repro.parallel import resolve_workers
 from repro.relay.relay import Relay
 from repro.sim.clock import DAY, HOUR, SimClock, Timestamp, parse_date
 from repro.sim.rng import derive_rng
+from repro.store import ArtifactStore, Stage
 from repro.tornet import TorNetwork
 from repro.trawl import TrawlAttack, TrawlConfig
+
+#: Modules whose source feeds the table2 checkpoint's code fingerprint.
+_TABLE2_MODULES = (
+    "repro.client.workload",
+    "repro.experiments.table2_popularity",
+    "repro.hs.publisher",
+    "repro.popularity.labels",
+    "repro.popularity.ranking",
+    "repro.popularity.resolver",
+    "repro.population.generator",
+    "repro.population.spec",
+    "repro.sim.rng",
+    "repro.tornet",
+    "repro.trawl.attack",
+)
 
 # Section V aggregates (full scale).
 PAPER_TOTAL_REQUESTS = 1_031_176
@@ -81,13 +98,19 @@ ADULT_LABEL = "Adult"
 
 @dataclass
 class Table2Result:
-    """The regenerated Table II plus Section V aggregates."""
+    """The regenerated Table II plus Section V aggregates.
+
+    ``resolution`` and ``workload_report`` are intermediate state: present
+    on a full run, ``None`` when the result was replayed from a store
+    checkpoint (the ranking and report round-trip; the intermediates are
+    not part of any emitted artifact).
+    """
 
     ranking: PopularityRanking
-    resolution: ResolutionResult
-    workload_report: WorkloadReport
-    total_requests_observed: int
-    unique_ids_observed: int
+    resolution: Optional[ResolutionResult] = None
+    workload_report: Optional[WorkloadReport] = None
+    total_requests_observed: int = 0
+    unique_ids_observed: int = 0
     goldnet_findings: List[GoldnetFinding] = field(default_factory=list)
     report: ExperimentReport = field(default_factory=lambda: ExperimentReport("table2"))
     label_to_onion: Dict[str, OnionAddress] = field(default_factory=dict)
@@ -121,6 +144,38 @@ def _build_honest_network(
     return network, pool
 
 
+def _table2_to_payload(result: Table2Result) -> Dict[str, Any]:
+    """Checkpoint encoding: the report, ranking and Section V aggregates.
+
+    Intermediate state (resolution internals, per-slice workload report,
+    goldnet findings already folded into the ranking labels and report)
+    deliberately stays out — nothing the CLI or benches emit needs it.
+    """
+    from repro import io as repro_io
+
+    return {
+        "report": repro_io.report_to_dict(result.report),
+        "ranking": repro_io.ranking_to_dict(result.ranking),
+        "total_requests_observed": result.total_requests_observed,
+        "unique_ids_observed": result.unique_ids_observed,
+        "label_to_onion": dict(result.label_to_onion),
+    }
+
+
+def _table2_from_payload(data: Dict[str, Any]) -> Table2Result:
+    """Inverse of :func:`_table2_to_payload` (intermediates stay None)."""
+    from repro import io as repro_io
+
+    result = Table2Result(
+        ranking=repro_io.ranking_from_dict(data["ranking"]),
+        total_requests_observed=data["total_requests_observed"],
+        unique_ids_observed=data["unique_ids_observed"],
+        label_to_onion=dict(data["label_to_onion"]),
+    )
+    result.report = repro_io.report_from_dict(data["report"])
+    return result
+
+
 def run_table2(
     seed: int = 0,
     scale: float = 1.0,
@@ -131,6 +186,7 @@ def run_table2(
     relays_per_ip: int = 24,
     thinning: float = 1.0,
     workers: Optional[int] = None,
+    store: Optional[ArtifactStore] = None,
 ) -> Table2Result:
     """Regenerate Table II at ``scale``.
 
@@ -145,6 +201,10 @@ def run_table2(
     fetch count.  Unique-ID and resolved-onion counts are only mildly
     affected as long as ``sweep_hours/2 × thinning ≥ 1`` (every tail
     service still emits its per-2h volume at least once).
+
+    With ``store`` the whole experiment is one checkpoint: a warm run
+    replays the ranking and report without rebuilding the network (the
+    intermediate ``resolution``/``workload_report`` stay ``None``).
     """
     if not 0 < thinning <= 1:
         raise ConfigError(f"thinning must be in (0, 1]: {thinning}")
@@ -152,6 +212,52 @@ def run_table2(
         population = generate_population(seed=seed, scale=scale)
     else:
         scale = population.spec.total_onions / 39_824
+
+    def compute() -> Table2Result:
+        return _compute_table2(
+            seed=seed,
+            scale=scale,
+            population=population,
+            relay_count=relay_count,
+            sweep_hours=sweep_hours,
+            rotation_interval_hours=rotation_interval_hours,
+            relays_per_ip=relays_per_ip,
+            thinning=thinning,
+            workers=workers,
+        )
+
+    if store is None:
+        return compute()
+    stage = Stage(
+        name="table2",
+        modules=_TABLE2_MODULES,
+        encode=_table2_to_payload,
+        decode=_table2_from_payload,
+    )
+    config = {
+        "seed": seed,
+        "population": {"seed": population.seed, "spec": asdict(population.spec)},
+        "relay_count": relay_count,
+        "sweep_hours": sweep_hours,
+        "rotation_interval_hours": rotation_interval_hours,
+        "relays_per_ip": relays_per_ip,
+        "thinning": thinning,
+        "workers": resolve_workers(workers),
+    }
+    return store.run(stage, config, compute)
+
+
+def _compute_table2(
+    seed: int,
+    scale: float,
+    population: GeneratedPopulation,
+    relay_count: Optional[int],
+    sweep_hours: int,
+    rotation_interval_hours: int,
+    relays_per_ip: int,
+    thinning: float,
+    workers: Optional[int],
+) -> Table2Result:
     spec = population.spec
     if relay_count is None:
         relay_count = max(60, round(1_450 * scale))

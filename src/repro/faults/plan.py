@@ -29,7 +29,7 @@ The rules model the failure modes the paper's live measurement faced
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Tuple
 
 from repro.crypto.onion import OnionAddress
@@ -179,6 +179,21 @@ class FaultPlan:
     def active(self) -> bool:
         """Whether any rule can actually fire."""
         return bool(self.rules)
+
+    def describe(self) -> dict:
+        """JSON-compatible description of the plan (for cache keys).
+
+        Rules are frozen dataclasses, so this captures every parameter
+        that influences fault decisions; two plans with equal descriptions
+        inject identical faults.
+        """
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "rules": [
+                {"kind": rule.kind, **asdict(rule)} for rule in self.rules
+            ],
+        }
 
     def _draw(self, kind: str, *path: str) -> float:
         return derive_rng(self.seed, "faults", kind, *path).random()

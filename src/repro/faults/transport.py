@@ -69,6 +69,40 @@ class FaultInjectingTransport:
         self._fetch_attempts[onion] = attempt
         return attempt
 
+    def stream_state(self) -> Dict[str, object]:
+        """JSON-compatible snapshot: inner stream plus attempt counters.
+
+        Counters are emitted in sorted key order so the snapshot is
+        canonical — two transports in the same state serialise to the same
+        bytes, which is what lets :mod:`repro.store` hash cursors into
+        cache keys.
+        """
+        return {
+            "inner": self._inner.stream_state(),
+            "injected": self.injected,
+            "probe_attempts": [
+                [onion, port, count]
+                for (onion, port), count in sorted(self._probe_attempts.items())
+            ],
+            "fetch_attempts": [
+                [onion, count]
+                for onion, count in sorted(self._fetch_attempts.items())
+            ],
+        }
+
+    def restore_stream_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`stream_state`."""
+        self._inner.restore_stream_state(state["inner"])  # type: ignore[arg-type]
+        self.injected = int(state["injected"])  # type: ignore[arg-type]
+        self._probe_attempts = {
+            (onion, port): count
+            for onion, port, count in state["probe_attempts"]  # type: ignore[union-attr]
+        }
+        self._fetch_attempts = {
+            onion: count
+            for onion, count in state["fetch_attempts"]  # type: ignore[union-attr]
+        }
+
     def has_descriptor(self, onion: OnionAddress, now: Timestamp) -> bool:
         """Like the inner transport, but a planned flap/outage hides it."""
         attempt = self._next_fetch(onion)

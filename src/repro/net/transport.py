@@ -88,6 +88,27 @@ class TorTransport:
         self._observer = ensure_observer(observer)
         self.attempts = 0
 
+    def stream_state(self) -> Dict[str, object]:
+        """JSON-compatible snapshot of the transport's mutable stream state.
+
+        The circuit-noise RNG and attempt counter evolve as stages consume
+        the transport; checkpoint/resume (:mod:`repro.store`) captures this
+        before a stage and restores the stored post-stage snapshot on a
+        cache hit, so skipping a stage leaves the stream exactly where
+        running it would have.
+        """
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss],
+            "attempts": self.attempts,
+        }
+
+    def restore_stream_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`stream_state`."""
+        version, internal, gauss = state["rng"]  # type: ignore[misc]
+        self._rng.setstate((version, tuple(internal), gauss))
+        self.attempts = int(state["attempts"])  # type: ignore[arg-type]
+
     def has_descriptor(self, onion: OnionAddress, now: Timestamp) -> bool:
         """Whether a descriptor for ``onion`` is currently fetchable.
 

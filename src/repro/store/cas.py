@@ -1,0 +1,145 @@
+"""The content-addressed object store.
+
+Objects are JSON-compatible dictionaries.  Each is serialised to a
+*canonical* encoding (sorted keys, minimal separators, no NaN/Infinity),
+hashed with SHA-256, and written to ``objects/<aa>/<digest>.json`` via
+write-to-temp-then-rename, so a crashed writer can never leave a
+half-written object under its final name.  Loads re-hash the bytes and
+raise :class:`~repro.errors.StoreCorruptionError` on any mismatch — bit
+rot, truncation, or hand edits all surface instead of silently feeding a
+wrong artifact back into an experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, Iterator, Union
+
+from repro.errors import StoreCorruptionError, StoreError
+
+PathLike = Union[str, pathlib.Path]
+
+#: Subdirectory fan-out: two hex chars keeps directories small at any size.
+_FANOUT = 2
+
+
+def canonical_json_bytes(payload: Dict[str, Any]) -> bytes:
+    """The one canonical byte encoding of a JSON-compatible payload.
+
+    Keys are sorted recursively and separators are minimal, so logically
+    equal payloads hash identically regardless of construction order.
+    ``allow_nan=False`` keeps the encoding inside strict JSON — a NaN
+    would round-trip as a parse error on some readers.
+    """
+    try:
+        text = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"payload is not canonically serialisable: {exc}") from exc
+    return text.encode("utf-8")
+
+
+def digest_of(payload: Dict[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``payload``."""
+    return hashlib.sha256(canonical_json_bytes(payload)).hexdigest()
+
+
+def atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class ContentStore:
+    """SHA-256-addressed object storage under ``root/objects``."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.objects_dir = self.root / "objects"
+
+    def path_of(self, digest: str) -> pathlib.Path:
+        """Where the object with ``digest`` lives (whether or not it exists)."""
+        if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+            raise StoreError(f"not a SHA-256 hex digest: {digest!r}")
+        return self.objects_dir / digest[:_FANOUT] / f"{digest}.json"
+
+    def has(self, digest: str) -> bool:
+        """Whether an object with ``digest`` is present (bytes unverified)."""
+        return self.path_of(digest).exists()
+
+    def put(self, payload: Dict[str, Any]) -> str:
+        """Store ``payload``; returns its content address.
+
+        Idempotent: an object that already exists is not rewritten (its
+        name *is* its content hash, so equal digests mean equal bytes —
+        unless corrupted, which :meth:`get` and :meth:`verify` detect).
+        """
+        data = canonical_json_bytes(payload)
+        digest = hashlib.sha256(data).hexdigest()
+        path = self.path_of(digest)
+        if not path.exists():
+            atomic_write_bytes(path, data)
+        return digest
+
+    def get(self, digest: str) -> Dict[str, Any]:
+        """Load and verify the object at ``digest``.
+
+        Raises :class:`StoreError` when absent and
+        :class:`StoreCorruptionError` when the stored bytes do not hash
+        back to ``digest`` or do not parse.
+        """
+        path = self.path_of(digest)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError as exc:
+            raise StoreError(f"no object {digest} in {self.objects_dir}") from exc
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != digest:
+            raise StoreCorruptionError(
+                f"object {digest} is corrupt: bytes hash to {actual}",
+                digest=digest,
+            )
+        try:
+            return json.loads(data.decode("utf-8"))
+        except ValueError as exc:
+            raise StoreCorruptionError(
+                f"object {digest} is corrupt: {exc}", digest=digest
+            ) from exc
+
+    def delete(self, digest: str) -> bool:
+        """Remove an object; True when something was deleted."""
+        path = self.path_of(digest)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def size_of(self, digest: str) -> int:
+        """On-disk byte size of the object (0 when absent)."""
+        try:
+            return self.path_of(digest).stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def iter_digests(self) -> Iterator[str]:
+        """Every stored object's digest, in sorted order."""
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            if len(path.stem) == 64:
+                yield path.stem
+
+    def verify(self, digest: str) -> bool:
+        """Whether the object's bytes still match its address."""
+        try:
+            self.get(digest)
+        except StoreError:
+            return False
+        return True

@@ -1,0 +1,35 @@
+"""Store resolution: ``--store DIR`` → ``$REPRO_STORE`` → off.
+
+Mirrors how the worker count and fault profile resolve: an explicit
+argument wins, the environment variable is the ambient default, and with
+neither the store is simply absent — every pipeline and experiment then
+behaves exactly as before the store existed (goldens untouched).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.scope import Observer
+from repro.store.checkpoint import ArtifactStore
+
+#: Environment variable consulted when no explicit ``--store`` is given.
+STORE_ENV = "REPRO_STORE"
+
+
+def resolve_store_dir(explicit: Optional[str] = None) -> Optional[str]:
+    """Store directory: explicit argument, else ``$REPRO_STORE``, else None."""
+    if explicit:
+        return explicit
+    return os.environ.get(STORE_ENV, "").strip() or None
+
+
+def open_store(
+    explicit: Optional[str] = None, observer: Optional[Observer] = None
+) -> Optional[ArtifactStore]:
+    """An :class:`ArtifactStore` at the resolved directory, or None (off)."""
+    directory = resolve_store_dir(explicit)
+    if directory is None:
+        return None
+    return ArtifactStore(directory, observer=observer)

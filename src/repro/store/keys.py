@@ -1,0 +1,114 @@
+"""Cache-key derivation: configuration + code → a stable digest.
+
+A :class:`CacheKey` answers "may this cached artifact stand in for a
+recompute?".  It must change whenever anything that could change the
+artifact changes — the seed, any population/scan/fault/worker setting,
+the upstream artifacts feeding the stage, the RNG cursor the stage starts
+from, or the code implementing it — and must *not* change under
+irrelevant permutations such as dict insertion order.
+
+Code is folded in as a fingerprint: the SHA-256 of the source bytes of
+the modules a stage names.  Editing any of those modules silently
+invalidates every artifact the stage ever produced, which is the only
+safe default for a cache that feeds published numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import importlib
+import pathlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import StoreError
+from repro.store.cas import canonical_json_bytes
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to plain JSON types with deterministic ordering.
+
+    Mappings are key-sorted (insertion order never matters), tuples become
+    lists, sets/frozensets become sorted lists, and enums collapse to
+    their ``value``.  Anything else that is not a JSON scalar is rejected
+    — a key must never depend on an object's ``repr`` or identity.
+    """
+    if isinstance(value, enum.Enum):
+        return canonicalize(value.value)
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): canonicalize(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        items = [canonicalize(item) for item in value]
+        return sorted(items, key=lambda item: canonical_json_bytes({"k": item}))
+    raise StoreError(
+        f"cache-key field of type {type(value).__name__} is not canonicalizable"
+    )
+
+
+@lru_cache(maxsize=None)
+def code_fingerprint(modules: Tuple[str, ...]) -> str:
+    """SHA-256 over the source bytes of the named modules.
+
+    The module list is hashed in sorted order with name separators, so the
+    fingerprint is independent of declaration order but sensitive to both
+    renames and content changes.  Cached per-process: stage wrappers call
+    this on every stage execution.
+    """
+    hasher = hashlib.sha256()
+    for name in sorted(set(modules)):
+        try:
+            module = importlib.import_module(name)
+        except ImportError as exc:
+            raise StoreError(f"cannot fingerprint module {name!r}: {exc}") from exc
+        source = getattr(module, "__file__", None)
+        if source is None:
+            raise StoreError(f"module {name!r} has no source file to fingerprint")
+        hasher.update(name.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(pathlib.Path(source).read_bytes())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything that decides whether a cached stage artifact is reusable."""
+
+    stage: str
+    config: Mapping[str, Any]
+    fingerprint: str
+    #: Content digests of the upstream artifacts this stage consumed.
+    upstream: Tuple[str, ...] = ()
+    #: Digest of the RNG/attempt cursor the stage starts from (or "").
+    cursor: str = ""
+    _canonical: Dict[str, Any] = field(
+        default=None, init=False, repr=False, compare=False  # type: ignore[assignment]
+    )
+
+    def canonical(self) -> Dict[str, Any]:
+        """The key's canonical JSON form (what gets hashed and ledgered)."""
+        if self._canonical is None:
+            object.__setattr__(
+                self,
+                "_canonical",
+                {
+                    "stage": self.stage,
+                    "config": canonicalize(self.config),
+                    "fingerprint": self.fingerprint,
+                    "upstream": list(self.upstream),
+                    "cursor": self.cursor,
+                },
+            )
+        return self._canonical
+
+    def digest(self) -> str:
+        """SHA-256 hex digest identifying this key."""
+        return hashlib.sha256(canonical_json_bytes(self.canonical())).hexdigest()

@@ -1,0 +1,130 @@
+"""The append-only run ledger.
+
+One JSONL line per stage event: which run, which stage, which cache key,
+hit or miss or corrupt, how many simulated seconds the compute took, and
+how many bytes moved.  The ledger is the store's audit trail — ``repro
+store ls`` renders it, and the warm-cache CI job proves a re-run
+recomputed nothing by asserting its latest run contains zero misses.
+
+Run identifiers are deterministic (``run-000001``, ``run-000002``, …):
+the next index is one past the highest already present, so ledgers from
+repeated runs diff cleanly and no wall-clock ever leaks into the file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterator, List, Union
+
+from repro.errors import StoreError
+from repro.store.cas import canonical_json_bytes
+
+PathLike = Union[str, pathlib.Path]
+
+#: Events a ledger line may carry.
+EVENTS = ("hit", "miss", "corrupt")
+
+
+class Ledger:
+    """Append-only JSONL event log for one store directory."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+
+    def append(
+        self,
+        run: str,
+        stage: str,
+        event: str,
+        key: str,
+        obj: str = "",
+        sim_seconds: int = 0,
+        size: int = 0,
+    ) -> None:
+        """Record one stage event (one canonical JSON line)."""
+        if event not in EVENTS:
+            raise StoreError(f"unknown ledger event {event!r} (want one of {EVENTS})")
+        record = {
+            "run": run,
+            "stage": stage,
+            "event": event,
+            "key": key,
+            "object": obj,
+            "sim_seconds": sim_seconds,
+            "bytes": size,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(canonical_json_bytes(record).decode("utf-8") + "\n")
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Parsed ledger lines in file order.
+
+        A truncated final line (a writer killed mid-append) is skipped;
+        a malformed line anywhere else raises — that is corruption, not an
+        interrupted append.
+        """
+        if not self.path.exists():
+            return
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError as exc:
+                if index == len(lines) - 1:
+                    return
+                raise StoreError(
+                    f"ledger {self.path} line {index + 1} is corrupt: {exc}"
+                ) from exc
+
+    def next_run_id(self) -> str:
+        """A fresh deterministic run identifier."""
+        highest = 0
+        for record in self.entries():
+            run = str(record.get("run", ""))
+            if run.startswith("run-"):
+                try:
+                    highest = max(highest, int(run[4:]))
+                except ValueError:
+                    continue
+        return f"run-{highest + 1:06d}"
+
+    def run_summaries(self) -> List[Dict[str, Any]]:
+        """Per-run totals in first-appearance order.
+
+        Each summary counts hits/misses/corruptions, the stages touched,
+        simulated seconds spent computing, and bytes written.
+        """
+        order: List[str] = []
+        by_run: Dict[str, Dict[str, Any]] = {}
+        for record in self.entries():
+            run = str(record.get("run", "?"))
+            if run not in by_run:
+                order.append(run)
+                by_run[run] = {
+                    "run": run,
+                    "hits": 0,
+                    "misses": 0,
+                    "corrupt": 0,
+                    "stages": [],
+                    "sim_seconds": 0,
+                    "bytes_written": 0,
+                }
+            summary = by_run[run]
+            event = record.get("event")
+            if event == "hit":
+                summary["hits"] += 1
+            elif event == "miss":
+                summary["misses"] += 1
+            elif event == "corrupt":
+                summary["corrupt"] += 1
+            stage = record.get("stage")
+            if stage and stage not in summary["stages"]:
+                summary["stages"].append(stage)
+            summary["sim_seconds"] += int(record.get("sim_seconds", 0) or 0)
+            if event == "miss":
+                summary["bytes_written"] += int(record.get("bytes", 0) or 0)
+        return [by_run[run] for run in order]

@@ -98,3 +98,53 @@ class TestObservability:
         assert main(["obs", "--scale", "0.01", "--seed", "3"]) == 0
         capsys.readouterr()
         json.loads(snap.read_text())
+
+
+class TestStoreCli:
+    def test_warm_rerun_replays_and_matches_bytes(self, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        args = ["fig1", "--scale", "0.02", "--store", root]
+        assert main(args + ["--json", str(first)]) == 0
+        capsys.readouterr()
+        assert main(args + ["--json", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+        assert main(["store", "ls", "--store", root]) == 0
+        out = capsys.readouterr().out
+        assert "run-000002" in out
+        assert "misses=0" in out
+
+    def test_store_env_variable_is_the_default(self, tmp_path, monkeypatch, capsys):
+        root = tmp_path / "env-store"
+        monkeypatch.setenv("REPRO_STORE", str(root))
+        assert main(["fig1", "--scale", "0.02"]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls"]) == 0
+        assert "misses=" in capsys.readouterr().out
+        assert (root / "ledger.jsonl").exists()
+
+    def test_store_verify_and_gc_clean(self, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        assert main(["fig1", "--scale", "0.02", "--store", root]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", root]) == 0
+        assert "[verify: 0 problem(s)]" in capsys.readouterr().out
+        assert main(["store", "gc", "--store", root]) == 0
+        assert "removed 0 object(s)" in capsys.readouterr().out
+
+    def test_store_verify_flags_corruption(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert main(["fig1", "--scale", "0.02", "--store", str(root)]) == 0
+        capsys.readouterr()
+        victim = next((root / "objects").glob("*/*.json"))
+        victim.write_bytes(b'{"tampered": true}')
+        assert main(["store", "verify", "--store", str(root)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_store_without_configuration_exits_two(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main(["store", "ls"]) == 2
+        assert "no store configured" in capsys.readouterr().err

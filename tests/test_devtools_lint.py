@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` static-analysis engine (REP001–REP009)."""
+"""Tests for the ``repro lint`` static-analysis engine (REP001–REP010)."""
 
 import json
 import os
@@ -411,6 +411,98 @@ class TestRep009AdHocInstrumentation:
             "import time\nprint('x')\nstart = time.perf_counter()\n"
         )
         assert run_lint([str(target)], rule_ids=["REP009"]).findings == []
+
+
+class TestRep010ArtifactWrite:
+    def test_flags_open_write_mode(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "with open('out.json', 'w') as fh:\n    fh.write('{}')\n",
+            rules=["REP010"],
+        )
+        assert [f.rule for f in findings] == ["REP010"]
+        assert "repro.io" in findings[0].message
+
+    def test_flags_open_mode_keyword(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "fh = open('out.bin', mode='ab')\n",
+            rules=["REP010"],
+        )
+        assert [f.rule for f in findings] == ["REP010"]
+
+    def test_open_for_reading_is_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "with open('in.json') as fh:\n    data = fh.read()\n"
+            "with open('in.txt', 'r') as fh:\n    text = fh.read()\n",
+            rules=["REP010"],
+        )
+        assert findings == []
+
+    def test_flags_json_dump(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import json\ndef f(data, fh):\n    json.dump(data, fh)\n",
+            rules=["REP010"],
+        )
+        assert [f.rule for f in findings] == ["REP010"]
+
+    def test_json_dumps_is_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import json\ntext = json.dumps({'a': 1})\n",
+            rules=["REP010"],
+        )
+        assert findings == []
+
+    @pytest.mark.parametrize("method", ["write_text", "write_bytes"])
+    def test_flags_pathlib_writes(self, tmp_path, method):
+        findings = lint_source(
+            tmp_path,
+            f"def f(path):\n    path.{method}('x')\n",
+            rules=["REP010"],
+        )
+        assert [f.rule for f in findings] == ["REP010"]
+
+    def test_flags_path_open_write_mode(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def f(path):\n    return path.open('a')\n",
+            rules=["REP010"],
+        )
+        assert [f.rule for f in findings] == ["REP010"]
+
+    def test_path_open_read_is_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def f(path):\n    return path.open()\n",
+            rules=["REP010"],
+        )
+        assert findings == []
+
+    @pytest.mark.parametrize(
+        "relative",
+        [
+            ("repro", "io.py"),
+            ("repro", "store", "cas.py"),
+            ("repro", "obs", "export.py"),
+            ("repro", "devtools", "baseline.py"),
+            ("repro", "cli.py"),
+            ("benchmarks", "conftest.py"),
+            ("tests", "test_scan.py"),
+            ("examples", "quickstart.py"),
+        ],
+    )
+    def test_exempt_surfaces_may_write(self, tmp_path, relative):
+        target = tmp_path.joinpath(*relative)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "import json\n"
+            "with open('out.json', 'w') as fh:\n"
+            "    json.dump({}, fh)\n"
+        )
+        assert run_lint([str(target)], rule_ids=["REP010"]).findings == []
 
 
 class TestSuppression:

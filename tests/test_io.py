@@ -5,6 +5,12 @@ import pytest
 from repro.analysis.report import ExperimentReport
 from repro.errors import ReproError
 from repro.io import (
+    certificates_from_dict,
+    certificates_to_dict,
+    classification_from_dict,
+    classification_to_dict,
+    crawl_from_dict,
+    crawl_to_dict,
     distribution_from_dict,
     distribution_to_dict,
     load_json,
@@ -13,8 +19,13 @@ from repro.io import (
     report_from_dict,
     report_to_dict,
     save_json,
+    scan_from_dict,
+    scan_to_dict,
+    timeseries_from_dict,
+    timeseries_to_dict,
 )
 from repro.popularity.ranking import PopularityRanking
+from repro.popularity.timeseries import RequestTimeSeries
 from repro.scan.results import PortDistribution
 
 
@@ -79,6 +90,154 @@ class TestDistributionRoundtrip:
         assert clone.unique_ports == 4
         assert clone.total_open == 7
         assert clone.as_rows()[-1] == ("other", 2)
+
+
+class TestScanRoundtrip:
+    def test_roundtrip_is_exact(self, small_pipeline):
+        scan = small_pipeline.scan()
+        data = scan_to_dict(scan)
+        clone = scan_from_dict(data)
+        assert clone.scanned_onions == scan.scanned_onions
+        assert clone.descriptor_onions == scan.descriptor_onions
+        assert clone.reachable_onions == scan.reachable_onions
+        assert clone.open_ports == scan.open_ports
+        assert clone.timeouts == scan.timeouts
+        assert clone.probes_answered == scan.probes_answered
+        # Re-encoding the clone reproduces the encoding byte-for-byte —
+        # the invariant repro.store's content addresses rest on.
+        assert scan_to_dict(clone) == data
+
+
+class TestCertificatesRoundtrip:
+    def test_roundtrip_is_exact(self, small_pipeline):
+        analysis = small_pipeline.certificates()
+        data = certificates_to_dict(analysis)
+        clone = certificates_from_dict(data)
+        assert clone.total_certificates == analysis.total_certificates
+        assert clone.self_signed_mismatch == analysis.self_signed_mismatch
+        assert clone.dominant_cn == analysis.dominant_cn
+        assert clone.cn_histogram == analysis.cn_histogram
+        assert certificates_to_dict(clone) == data
+
+
+class TestCrawlRoundtrip:
+    def test_roundtrip_is_exact(self, small_pipeline):
+        crawl = small_pipeline.crawl()
+        data = crawl_to_dict(crawl)
+        clone = crawl_from_dict(data)
+        assert clone.pages == crawl.pages
+        assert clone.tried == crawl.tried
+        assert clone.open_at_crawl == crawl.open_at_crawl
+        assert clone.connected == crawl.connected
+        assert crawl_to_dict(clone) == data
+
+    def test_destination_index_rebuilt(self, small_pipeline):
+        crawl = small_pipeline.crawl()
+        clone = crawl_from_dict(crawl_to_dict(crawl))
+        page = crawl.pages[0]
+        assert clone._page_index[page.destination] == page
+
+
+class TestClassificationRoundtrip:
+    def test_roundtrip_is_exact(self, small_pipeline):
+        outcome = small_pipeline.classify()
+        data = classification_to_dict(outcome)
+        clone = classification_from_dict(data)
+        assert clone.language_counts == outcome.language_counts
+        assert clone.topic_counts == outcome.topic_counts
+        assert clone.classified_pages == outcome.classified_pages
+        # Insertion order carries ranking-relevant tie-breaks; it must
+        # survive the trip, not just the mapping contents.
+        assert list(clone.page_topics) == list(outcome.page_topics)
+        assert classification_to_dict(clone) == data
+
+
+class TestTimeseriesRoundtrip:
+    def test_roundtrip_is_exact(self):
+        series = RequestTimeSeries(start=100, bucket_seconds=3600, counts=[1, 0, 7])
+        data = timeseries_to_dict(series)
+        clone = timeseries_from_dict(data)
+        assert clone.start == 100
+        assert clone.bucket_seconds == 3600
+        assert clone.counts == [1, 0, 7]
+        assert timeseries_to_dict(clone) == data
+
+
+class TestStrictLoaders:
+    """Loaders fail loudly at the boundary, never with a bare KeyError."""
+
+    @pytest.mark.parametrize(
+        "encode, decode",
+        [
+            (lambda: report_to_dict(make_report()), report_from_dict),
+            (
+                lambda: timeseries_to_dict(
+                    RequestTimeSeries(start=0, bucket_seconds=60, counts=[1])
+                ),
+                timeseries_from_dict,
+            ),
+        ],
+    )
+    def test_missing_field_raises_repro_error(self, encode, decode):
+        data = encode()
+        doomed = next(k for k in data if k not in ("schema", "kind"))
+        del data[doomed]
+        with pytest.raises(ReproError, match="missing required field"):
+            decode(data)
+
+    def test_missing_row_field_names_the_row(self):
+        data = report_to_dict(make_report())
+        del data["rows"][0]["measured"]
+        with pytest.raises(ReproError, match="report row"):
+            report_from_dict(data)
+
+    def test_newer_schema_rejected_with_upgrade_hint(self):
+        data = report_to_dict(make_report())
+        data["schema"] = 2
+        with pytest.raises(ReproError, match="newer than this build"):
+            report_from_dict(data)
+
+    def test_older_schema_rejected(self):
+        data = report_to_dict(make_report())
+        data["schema"] = 0
+        with pytest.raises(ReproError, match="unsupported schema"):
+            report_from_dict(data)
+
+    def test_non_integer_schema_rejected(self):
+        data = report_to_dict(make_report())
+        data["schema"] = "1"
+        with pytest.raises(ReproError, match="no integer schema"):
+            report_from_dict(data)
+
+    def test_wrong_kind_rejected(self):
+        data = timeseries_to_dict(
+            RequestTimeSeries(start=0, bucket_seconds=60, counts=[])
+        )
+        with pytest.raises(ReproError, match="expected artifact kind"):
+            scan_from_dict(data)
+
+    def test_non_mapping_fragment_rejected(self):
+        data = crawl_to_dict(
+            crawl_from_dict(
+                {
+                    "schema": 1,
+                    "kind": "crawl-results",
+                    "pages": [],
+                    "tried": 0,
+                    "open_at_crawl": 0,
+                    "connected": 0,
+                    "failures": {
+                        "transient_recovered": 0,
+                        "retries_exhausted": 0,
+                        "permanent": 0,
+                        "retry_attempts": 0,
+                    },
+                }
+            )
+        )
+        data["failures"] = None
+        with pytest.raises(ReproError, match="unreadable"):
+            crawl_from_dict(data)
 
 
 class TestFiles:

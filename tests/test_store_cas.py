@@ -1,0 +1,115 @@
+"""Tests for repro.store.cas — the content-addressed object layer."""
+
+import pytest
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.store.cas import (
+    ContentStore,
+    atomic_write_bytes,
+    canonical_json_bytes,
+    digest_of,
+)
+
+
+class TestCanonicalEncoding:
+    def test_key_order_never_matters(self):
+        a = {"b": 1, "a": {"y": 2, "x": 3}}
+        b = {"a": {"x": 3, "y": 2}, "b": 1}
+        assert canonical_json_bytes(a) == canonical_json_bytes(b)
+        assert digest_of(a) == digest_of(b)
+
+    def test_encoding_is_minimal(self):
+        assert canonical_json_bytes({"a": [1, 2]}) == b'{"a":[1,2]}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(StoreError, match="not canonically serialisable"):
+            canonical_json_bytes({"x": float("nan")})
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(StoreError, match="not canonically serialisable"):
+            canonical_json_bytes({"x": object()})
+
+    def test_value_change_changes_digest(self):
+        assert digest_of({"a": 1}) != digest_of({"a": 2})
+
+
+class TestContentStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ContentStore(tmp_path)
+        payload = {"stage": "scan", "artifact": {"n": 3}}
+        digest = store.put(payload)
+        assert store.has(digest)
+        assert store.get(digest) == payload
+        assert store.size_of(digest) > 0
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ContentStore(tmp_path)
+        first = store.put({"a": 1})
+        second = store.put({"a": 1})
+        assert first == second
+        assert list(store.iter_digests()) == [first]
+
+    def test_layout_fans_out_by_prefix(self, tmp_path):
+        store = ContentStore(tmp_path)
+        digest = store.put({"a": 1})
+        path = store.path_of(digest)
+        assert path.parent.name == digest[:2]
+        assert path.name == f"{digest}.json"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ContentStore(tmp_path)
+        store.put({"a": 1})
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_get_missing_raises_store_error(self, tmp_path):
+        store = ContentStore(tmp_path)
+        with pytest.raises(StoreError, match="no object"):
+            store.get("0" * 64)
+
+    def test_bad_digest_rejected(self, tmp_path):
+        store = ContentStore(tmp_path)
+        with pytest.raises(StoreError, match="not a SHA-256"):
+            store.path_of("../../etc/passwd")
+
+    def test_tampered_bytes_detected(self, tmp_path):
+        store = ContentStore(tmp_path)
+        digest = store.put({"a": 1})
+        path = store.path_of(digest)
+        path.write_bytes(path.read_bytes().replace(b"1", b"2"))
+        with pytest.raises(StoreCorruptionError, match="corrupt"):
+            store.get(digest)
+        assert not store.verify(digest)
+
+    def test_truncated_object_detected(self, tmp_path):
+        store = ContentStore(tmp_path)
+        digest = store.put({"a": [1, 2, 3]})
+        path = store.path_of(digest)
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(StoreCorruptionError):
+            store.get(digest)
+
+    def test_intact_object_verifies(self, tmp_path):
+        store = ContentStore(tmp_path)
+        assert store.verify(store.put({"a": 1}))
+
+    def test_delete(self, tmp_path):
+        store = ContentStore(tmp_path)
+        digest = store.put({"a": 1})
+        assert store.delete(digest) is True
+        assert store.delete(digest) is False
+        assert not store.has(digest)
+
+    def test_iter_digests_sorted(self, tmp_path):
+        store = ContentStore(tmp_path)
+        digests = {store.put({"n": n}) for n in range(6)}
+        assert list(store.iter_digests()) == sorted(digests)
+
+
+class TestAtomicWrite:
+    def test_write_then_replace(self, tmp_path):
+        target = tmp_path / "deep" / "file.json"
+        atomic_write_bytes(target, b"{}")
+        assert target.read_bytes() == b"{}"
+        atomic_write_bytes(target, b'{"a":1}')
+        assert target.read_bytes() == b'{"a":1}'
+        assert list(tmp_path.rglob("*.tmp")) == []
