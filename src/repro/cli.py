@@ -27,6 +27,7 @@ Scale 1.0 is the paper's full size; small scales run in seconds.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -185,11 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Operate on a repro.store directory: 'ls' renders the run "
             "ledger and indexed artifacts, 'gc' deletes objects no index "
-            "entry references, 'verify' re-hashes every object and exits "
-            "1 on corruption."
+            "entry references, 'verify' re-hashes every object (exits 1 "
+            "on corruption) and cross-checks each cached stage's recorded "
+            "code fingerprint against the module tuple the source tree "
+            "declares today, reporting drift informationally."
         ),
     )
     store.add_argument("action", choices=("ls", "gc", "verify"))
+    store.add_argument(
+        "--src",
+        default="src/repro",
+        metavar="PATH",
+        help=(
+            "source tree the fingerprint-drift check resolves stage "
+            "declarations from (verify only; skipped if absent)"
+        ),
+    )
     _add_store(store)
 
     obs = sub.add_parser(
@@ -242,14 +254,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="check determinism & convention rules (REP001-REP010)",
+        help="check determinism & convention rules (REP001-REP013)",
         description=(
             "Static analysis over the given paths: seeded-RNG discipline, "
             "sim-clock usage, the repro.errors hierarchy, stable set "
             "ordering, import layering, raw-concurrency containment, "
             "ad-hoc instrumentation (use repro.obs, not print/perf_counter), "
-            "and artifact-write containment (use repro.io/repro.store, not "
-            "raw open/json.dump). Exits 1 when findings remain."
+            "artifact-write containment (use repro.io/repro.store, not "
+            "raw open/json.dump), plus the whole-program analyses: RNG "
+            "stream-label lineage (REP011), stage code-fingerprint "
+            "coverage (REP012), and pmap shard safety (REP013). Exits 1 "
+            "when findings remain."
         ),
     )
     lint.add_argument(
@@ -257,9 +272,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
-        help="output format (json: one record per finding)",
+        help=(
+            "output format (json: one record per finding; sarif: "
+            "byte-stable SARIF 2.1.0 for CI annotation upload)"
+        ),
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help=(
+            "apply the mechanical autofixes findings carry (REP005 sorted "
+            "wrapping, REP012 module-tuple completion), then re-lint; "
+            "exits 1 only if unfixable findings remain"
+        ),
     )
     lint.add_argument(
         "--rules",
@@ -553,23 +580,55 @@ def _run_store(args) -> int:
     problems = verify(store)
     for problem in problems:
         print(problem)
-    print(f"[verify: {len(problems)} problem(s)]")
+    drift: List[str] = []
+    if os.path.isdir(args.src):
+        from repro.devtools.storecheck import fingerprint_drift
+
+        drift = fingerprint_drift(store, (args.src,))
+        for line in drift:
+            print(line)
+    print(f"[verify: {len(problems)} problem(s), {len(drift)} drifted]")
+    # Drift is informational — the artifacts are intact, just older than
+    # the code; only corruption affects the exit code.
     return 0 if not problems else 1
 
 
 def _run_lint(args) -> int:
     import json
-    import os
 
     from repro.devtools import run_lint
+    from repro.devtools.astcache import AstCache
+    from repro.devtools.autofix import apply_fixes
     from repro.devtools.baseline import write_baseline
+    from repro.devtools.sarif import render_sarif
     from repro.errors import ConfigError
 
     rule_ids = None
     if args.rules:
         rule_ids = [token.strip() for token in args.rules.split(",") if token.strip()]
+    fixed_files: List[str] = []
     try:
-        report = run_lint(args.paths, rule_ids=rule_ids, baseline_path=args.baseline)
+        cache = AstCache()
+        report = run_lint(
+            args.paths, rule_ids=rule_ids, baseline_path=args.baseline, cache=cache
+        )
+        if args.fix:
+            # Apply, invalidate only the rewritten parses, re-lint; repeat
+            # while progress is made (a fix can unblock another), bounded
+            # so a misbehaving fix can never loop forever.
+            for _ in range(5):
+                result = apply_fixes(report.findings)
+                if not result.applied:
+                    break
+                fixed_files.extend(result.files)
+                for path in result.files:
+                    cache.invalidate(path)
+                report = run_lint(
+                    args.paths,
+                    rule_ids=rule_ids,
+                    baseline_path=args.baseline,
+                    cache=cache,
+                )
         if args.write_baseline is not None:
             recorded = write_baseline(args.write_baseline, report.findings)
             print(f"[baseline: {recorded} finding(s) recorded to {args.write_baseline}]")
@@ -579,7 +638,9 @@ def _run_lint(args) -> int:
         return 2
 
     try:
-        if args.format == "json":
+        if args.format == "sarif":
+            sys.stdout.write(render_sarif(report.findings))
+        elif args.format == "json":
             print(
                 json.dumps(
                     [finding.to_dict() for finding in report.findings], indent=2
@@ -592,6 +653,8 @@ def _run_lint(args) -> int:
                 f"[{report.files_scanned} file(s) scanned, "
                 f"{len(report.findings)} finding(s)"
             )
+            if fixed_files:
+                summary += f", {len(sorted(set(fixed_files)))} file(s) fixed"
             if report.suppressed:
                 summary += f", {report.suppressed} suppressed"
             if report.baselined:

@@ -15,13 +15,14 @@ entry, which marks *inherited* debt — so reviewers can veto it.
 
 from __future__ import annotations
 
-import ast
 import os
 import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.devtools.astcache import AstCache, module_name_for, parse_file
 from repro.devtools.baseline import apply_baseline, load_baseline
+from repro.devtools.callgraph import ProjectContext
 from repro.devtools.findings import Finding
 from repro.devtools.registry import (
     AstRule,
@@ -32,6 +33,14 @@ from repro.devtools.registry import (
     get_rule,
 )
 from repro.errors import ConfigError
+
+__all__ = [
+    "LintReport",
+    "iter_python_files",
+    "module_name_for",
+    "parse_file",
+    "run_lint",
+]
 
 _INLINE_RE = re.compile(r"#\s*repro-lint:\s*disable(?:=([A-Z0-9,\s]+))?")
 _FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+)")
@@ -68,38 +77,6 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
         else:
             raise ConfigError(f"no such file or directory: {path}")
     return sorted(out)
-
-
-def module_name_for(path: str) -> str:
-    """Dotted module name by walking up the ``__init__.py`` package chain."""
-    abspath = os.path.abspath(path)
-    directory, filename = os.path.split(abspath)
-    parts = [os.path.splitext(filename)[0]]
-    while os.path.isfile(os.path.join(directory, "__init__.py")):
-        directory, package = os.path.split(directory)
-        parts.append(package)
-    if parts[0] == "__init__":
-        parts = parts[1:] or parts
-    return ".".join(reversed(parts))
-
-
-def parse_file(path: str) -> FileContext:
-    """Parse one file into a :class:`FileContext` (posix-normalised path)."""
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-    except (OSError, UnicodeDecodeError) as exc:
-        raise ConfigError(f"cannot read {path}: {exc}") from exc
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise ConfigError(f"syntax error in {path}:{exc.lineno}: {exc.msg}") from exc
-    return FileContext(
-        path=path.replace(os.sep, "/"),
-        module=module_name_for(path),
-        tree=tree,
-        lines=source.splitlines(),
-    )
 
 
 def _parse_rule_list(text: str) -> Set[str]:
@@ -146,11 +123,16 @@ def run_lint(
     paths: Sequence[str],
     rule_ids: Optional[Iterable[str]] = None,
     baseline_path: Optional[str] = None,
+    cache: Optional[AstCache] = None,
 ) -> LintReport:
     """Lint every Python file under ``paths`` and return the report.
 
     ``rule_ids`` restricts the run to a subset of rules; ``baseline_path``
-    filters out findings recorded in that baseline file.
+    filters out findings recorded in that baseline file.  ``cache`` lets a
+    caller reuse parses across runs (``--fix`` re-lints through the same
+    cache after invalidating only the rewritten files); without one a
+    fresh cache still guarantees each file parses exactly once within the
+    run, shared by every per-file and whole-program rule.
     """
     if rule_ids is not None:
         rules: List[Rule] = [get_rule(rule_id) for rule_id in sorted(set(rule_ids))]
@@ -159,7 +141,9 @@ def run_lint(
     ast_rules = [rule for rule in rules if isinstance(rule, AstRule)]
     project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
 
-    contexts = [parse_file(path) for path in iter_python_files(paths)]
+    if cache is None:
+        cache = AstCache()
+    contexts = cache.contexts(iter_python_files(paths))
     report = LintReport(files_scanned=len(contexts))
 
     raw: List[Tuple[Finding, FileContext]] = []
@@ -170,10 +154,13 @@ def run_lint(
                 continue
             for finding in rule.check(ctx):
                 raw.append((finding, ctx))
-    for rule in project_rules:
-        scoped = [ctx for ctx in contexts if rule.applies_to(ctx)]
-        for finding in rule.check_project(scoped):
-            raw.append((finding, by_path[finding.file]))
+    if project_rules:
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                ctx = by_path[finding.file]
+                if rule.applies_to(ctx):
+                    raw.append((finding, ctx))
 
     kept: List[Finding] = []
     suppression_cache: Dict[str, Tuple[Dict, Set[str]]] = {}

@@ -4,6 +4,25 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One mechanical rewrite: replace a source span with new text.
+
+    Spans use ast's coordinates — 1-based lines, 0-based columns — and may
+    live in a *different* file than the finding (a fingerprint-coverage
+    finding anchors at the ``Stage(...)`` wiring call but fixes the module
+    tuple where it is declared).  ``repro lint --fix`` applies these.
+    """
+
+    file: str
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
 
 
 @dataclass(frozen=True)
@@ -12,7 +31,8 @@ class Finding:
 
     ``snippet`` is the stripped source line the finding anchors to; it feeds
     the baseline fingerprint so recorded findings survive unrelated edits
-    that only shift line numbers.
+    that only shift line numbers.  ``fix`` carries the autofix when the
+    rule knows the mechanical rewrite.
     """
 
     rule: str
@@ -20,6 +40,7 @@ class Finding:
     line: int
     message: str
     snippet: str = field(default="", compare=False)
+    fix: Optional[Fix] = field(default=None, compare=False)
 
     @property
     def fingerprint(self) -> str:

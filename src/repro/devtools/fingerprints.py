@@ -1,0 +1,255 @@
+"""REP012: stage code-fingerprint coverage.
+
+The artifact store keys each checkpoint on a *code fingerprint* — the
+hash of the source of the modules a :class:`~repro.store.checkpoint.Stage`
+declares — so a warm run can trust cached artifacts.  That trust has one
+unchecked assumption: the declared module tuple must actually cover the
+code the stage executes.  A module the compute path imports but the tuple
+omits can change without changing the fingerprint, and the store then
+replays a stale artifact as if it were current — the one cache bug no
+runtime check can catch, because the cached result still *looks* valid.
+
+This rule closes the gap statically.  For every ``Stage(...)`` wiring
+site it resolves the declared ``modules`` tuple (directly, or through the
+constants bound at call sites when the tuple arrives as a parameter, as
+in the pipeline's ``_run_stage`` helper), computes the transitive import
+closure of the wiring module over the project import graph — function-
+local imports included, since they run on the compute path — and fails if
+the closure is not covered.  Infrastructure layers that are deliberately
+fingerprint-exempt (the store itself, observability, devtools, errors,
+the CLI) are excluded from the requirement: hashing the cache machinery
+into every key would invalidate all caches on infra-only changes without
+adding protection, because those layers never shape artifact bytes.
+
+Findings carry an autofix: the declared tuple's source is replaced with
+the flat, sorted union of declaration and closure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.callgraph import CallRecord, CallSite, ProjectContext
+from repro.devtools.findings import Finding, Fix
+from repro.devtools.registry import FileContext, ProjectRule, register
+
+#: Dotted names a Stage wiring call can resolve to.
+_STAGE_TARGETS = frozenset(
+    {"repro.store.Stage", "repro.store.checkpoint.Stage"}
+)
+
+#: Second-level subpackages exempt from fingerprint coverage: they carry
+#: artifacts and telemetry but never shape artifact *content*, so hashing
+#: them would churn every cache key on infra-only changes.
+EXEMPT_LAYERS = frozenset({"cli", "devtools", "errors", "obs", "store"})
+
+#: How many missing modules a finding message names before eliding.
+_MESSAGE_CAP = 5
+
+
+def _layer_of(module: str) -> str:
+    parts = module.split(".")
+    return parts[1] if len(parts) > 1 else parts[0]
+
+
+def _keyword(node: ast.Call, name: str) -> Optional[ast.AST]:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _stage_name(project: ProjectContext, ctx: FileContext, node: ast.Call) -> str:
+    expr = _keyword(node, "name")
+    if expr is None and node.args:
+        expr = node.args[0]
+    if expr is not None:
+        folded, value = project.resolve_constant(ctx, expr)
+        if folded and isinstance(value, str):
+            return value
+    return "<dynamic>"
+
+
+def iter_stage_wirings(
+    project: ProjectContext,
+) -> Iterator[Tuple[FileContext, ast.AST, ast.AST, Tuple[str, ...], str]]:
+    """Every resolvable Stage wiring in the project.
+
+    Yields ``(ctx, anchor node, declared expr, declared tuple, stage
+    name)`` — the anchor is where a finding points; the declared expr is
+    what an autofix rewrites.  A ``modules`` argument that is a parameter
+    of the enclosing function forks into one wiring per binding call
+    site, anchored and named there.  Shared between the REP012 rule and
+    the ``repro store verify`` drift check, so both see the exact same
+    declarations.
+    """
+    for record in project.call_records:
+        if record.target not in _STAGE_TARGETS:
+            continue
+        modules_expr = _keyword(record.node, "modules")
+        if modules_expr is None and len(record.node.args) > 1:
+            modules_expr = record.node.args[1]
+        if modules_expr is None:
+            continue
+        yield from _resolve_declarations(project, record, modules_expr)
+
+
+def _resolve_declarations(
+    project: ProjectContext,
+    record: CallRecord,
+    modules_expr: ast.AST,
+) -> Iterator[Tuple[FileContext, ast.AST, ast.AST, Tuple[str, ...], str]]:
+    folded, value = project.resolve_constant(record.ctx, modules_expr)
+    if folded:
+        if not _all_strings(value):
+            return
+        stage_name = _stage_name(project, record.ctx, record.node)
+        yield record.ctx, record.node, modules_expr, value, stage_name
+        return
+    if not isinstance(modules_expr, ast.Name) or record.caller is None:
+        return
+    info = project.functions.get(record.caller)
+    if info is None:
+        return
+    bindings = project.param_bindings(record.caller, modules_expr.id)
+    if bindings is None:
+        return
+    for site, value in bindings:
+        if not _all_strings(value):
+            continue
+        declared_expr = _binding_expr(project, site, info, modules_expr.id)
+        if declared_expr is None:
+            continue
+        stage_name = _site_stage_name(project, site, info)
+        yield site.ctx, site.node, declared_expr, value, stage_name
+
+
+def _binding_expr(
+    project: ProjectContext,
+    site: CallSite,
+    info,
+    param: str,
+) -> Optional[ast.AST]:
+    """The argument expression a call site binds to ``param``."""
+    positional = [a.arg for a in info.node.args.posonlyargs] + [
+        a.arg for a in info.node.args.args
+    ]
+    try:
+        index = positional.index(param)
+    except ValueError:
+        index = -1
+    expr = project.argument_expr(site, index, param)
+    if isinstance(expr, ast.Starred):
+        return None
+    return expr
+
+
+@register
+class FingerprintCoverageRule(ProjectRule):
+    """REP012: declared Stage module tuples must cover the import closure."""
+
+    id = "REP012"
+    summary = "stage code fingerprint misses imported modules (stale-cache hazard)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for wiring in iter_stage_wirings(project):
+            ctx, anchor, declared_expr, declared, stage_name = wiring
+            finding = self._check_coverage(
+                project, ctx, anchor, declared_expr, declared, stage_name
+            )
+            if finding is not None:
+                yield finding
+
+    def _check_coverage(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        anchor: ast.AST,
+        declared_expr: ast.AST,
+        declared: Tuple[str, ...],
+        stage_name: str,
+    ) -> Optional[Finding]:
+        closure = project.import_closure(ctx.module)
+        required = {
+            module
+            for module in closure
+            if _layer_of(module) not in EXEMPT_LAYERS
+        }
+        missing = sorted(required - set(declared))
+        if not missing:
+            return None
+        line = getattr(anchor, "lineno", 1)
+        shown = ", ".join(missing[:_MESSAGE_CAP])
+        if len(missing) > _MESSAGE_CAP:
+            shown += f", … ({len(missing) - _MESSAGE_CAP} more)"
+        return Finding(
+            rule=self.id,
+            file=ctx.path,
+            line=line,
+            message=(
+                f"stage {stage_name!r} code fingerprint misses {shown}: these "
+                "modules are in the compute path's import closure, so edits "
+                "to them replay stale cached artifacts — add them to the "
+                "modules tuple"
+            ),
+            snippet=ctx.line_text(line),
+            fix=self._fix_for(project, ctx, declared_expr, declared, missing),
+        )
+
+    def _fix_for(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        declared_expr: ast.AST,
+        declared: Tuple[str, ...],
+        missing: List[str],
+    ) -> Optional[Fix]:
+        target_ctx, target_expr = ctx, declared_expr
+        if isinstance(declared_expr, ast.Name):
+            definition = project.constant_definition(ctx, declared_expr.id)
+            if definition is None:
+                return None
+            target_ctx, target_expr = definition
+        if not isinstance(target_expr, (ast.Tuple, ast.List, ast.BinOp, ast.Name)):
+            return None
+        end_line = getattr(target_expr, "end_lineno", None)
+        end_col = getattr(target_expr, "end_col_offset", None)
+        if end_line is None or end_col is None:
+            return None
+        covered = sorted(set(declared) | set(missing))
+        replacement = "(\n" + "".join(
+            f'    "{module}",\n' for module in covered
+        ) + ")"
+        return Fix(
+            file=target_ctx.path,
+            start_line=target_expr.lineno,
+            start_col=target_expr.col_offset,
+            end_line=end_line,
+            end_col=end_col,
+            replacement=replacement,
+        )
+
+
+def _all_strings(value) -> bool:
+    return isinstance(value, tuple) and all(
+        isinstance(element, str) for element in value
+    )
+
+
+def _site_stage_name(project: ProjectContext, site: CallSite, info) -> str:
+    """Best-effort stage name for a forked wiring: the site's name arg."""
+    positional = [a.arg for a in info.node.args.posonlyargs] + [
+        a.arg for a in info.node.args.args
+    ]
+    try:
+        index = positional.index("name")
+    except ValueError:
+        return "<dynamic>"
+    expr = project.argument_expr(site, index, "name")
+    if expr is None or isinstance(expr, ast.Starred):
+        return "<dynamic>"
+    folded, value = project.resolve_constant(site.ctx, expr)
+    if folded and isinstance(value, str):
+        return value
+    return "<dynamic>"

@@ -5,15 +5,18 @@ and net layers must never import the trawl/experiments/analysis layers that
 drive them, and the module graph must stay acyclic (module-level imports
 only — ``TYPE_CHECKING`` blocks and function-local imports are runtime
 no-ops and are excluded, matching how Python actually executes the code).
+The graph itself comes from the shared
+:class:`~repro.devtools.callgraph.ProjectContext`, so this rule and the
+whole-program determinism rules walk each file's imports once between them.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
+from repro.devtools.callgraph import ProjectContext
 from repro.devtools.findings import Finding
-from repro.devtools.registry import FileContext, ProjectRule, register
+from repro.devtools.registry import ProjectRule, register
 
 #: Measurement-side subpackages that the low substrate layers may not import.
 _MEASUREMENT_LAYERS = frozenset(
@@ -49,65 +52,6 @@ FORBIDDEN_IMPORTS: Dict[str, frozenset] = {
     # never needs (and must never take) a measurement-layer import.
     "store": _MEASUREMENT_LAYERS,
 }
-
-
-def _is_type_checking_test(test: ast.AST) -> bool:
-    if isinstance(test, ast.Name):
-        return test.id == "TYPE_CHECKING"
-    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
-
-
-def iter_runtime_imports(
-    tree: ast.Module, module: str
-) -> Iterator[Tuple[str, int]]:
-    """Yield ``(imported_module, lineno)`` for imports that run at import time.
-
-    Descends into class bodies and plain ``if``/``try`` blocks (those execute
-    on import) but not into function bodies or ``if TYPE_CHECKING:`` guards.
-    Relative imports are resolved against ``module``.
-    """
-    package_parts = module.split(".")[:-1]
-
-    def resolve_from(node: ast.ImportFrom) -> List[Tuple[str, int]]:
-        if node.level == 0:
-            base = node.module or ""
-        else:
-            anchor = package_parts[: len(package_parts) - (node.level - 1)]
-            base = ".".join(anchor)
-            if node.module:
-                base = f"{base}.{node.module}" if base else node.module
-        if not base:
-            return []
-        # ``from pkg import name`` may bind either pkg.name (a submodule) or
-        # an attribute of pkg; record both candidates — the graph builder
-        # keeps whichever actually exists in the scanned set.
-        out = [(base, node.lineno)]
-        out.extend((f"{base}.{alias.name}", node.lineno) for alias in node.names)
-        return out
-
-    def walk(body: Sequence[ast.stmt]) -> Iterator[Tuple[str, int]]:
-        for stmt in body:
-            if isinstance(stmt, ast.Import):
-                for alias in stmt.names:
-                    yield alias.name, stmt.lineno
-            elif isinstance(stmt, ast.ImportFrom):
-                yield from resolve_from(stmt)
-            elif isinstance(stmt, ast.If):
-                if not _is_type_checking_test(stmt.test):
-                    yield from walk(stmt.body)
-                yield from walk(stmt.orelse)
-            elif isinstance(stmt, ast.Try):
-                yield from walk(stmt.body)
-                for handler in stmt.handlers:
-                    yield from walk(handler.body)
-                yield from walk(stmt.orelse)
-                yield from walk(stmt.finalbody)
-            elif isinstance(stmt, ast.ClassDef):
-                yield from walk(stmt.body)
-            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
-                yield from walk(stmt.body)
-
-    yield from walk(tree.body)
 
 
 def _subpackage_of(module: str) -> str:
@@ -175,27 +119,9 @@ class LayeringRule(ProjectRule):
     id = "REP006"
     summary = "import-layer violation or cycle"
 
-    def check_project(self, files: Sequence[FileContext]) -> Iterator[Finding]:
-        by_module = {ctx.module: ctx for ctx in files}
-        graph: Dict[str, Set[str]] = {module: set() for module in by_module}
-        edge_lines: Dict[Tuple[str, str], int] = {}
-
-        for ctx in files:
-            for target, lineno in iter_runtime_imports(ctx.tree, ctx.module):
-                resolved = target
-                if resolved not in by_module:
-                    # ``import pkg.sub`` also names every ancestor package.
-                    while "." in resolved and resolved not in by_module:
-                        resolved = resolved.rsplit(".", 1)[0]
-                if resolved not in by_module or resolved == ctx.module:
-                    continue
-                if ctx.module.startswith(resolved + "."):
-                    # Importing an ancestor package (``from repro.population
-                    # import botnets`` inside that package) is inherent to
-                    # Python's import machinery, not a layering edge.
-                    continue
-                graph[ctx.module].add(resolved)
-                edge_lines.setdefault((ctx.module, resolved), lineno)
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        by_module = project.by_module
+        graph, edge_lines = project.runtime_import_graph()
 
         reported: Set[Tuple[str, int, str]] = set()
         for source in sorted(graph):

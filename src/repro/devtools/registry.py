@@ -1,15 +1,17 @@
 """Rule registry: rules self-register at import time via a decorator.
 
 Two rule shapes exist.  :class:`AstRule` sees one file at a time (a parsed
-:class:`FileContext`); :class:`ProjectRule` sees every scanned file at once,
-which is what the import-graph layering checker needs.
+:class:`FileContext`); :class:`ProjectRule` sees the whole scanned project
+at once through a :class:`~repro.devtools.callgraph.ProjectContext`, which
+is what the import-graph, RNG-lineage, and fingerprint-coverage analyses
+need.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple, Type
+from typing import Dict, Iterator, List, Optional, Tuple, Type
 
 from repro.errors import ConfigError
 
@@ -29,6 +31,7 @@ class FileContext:
     tree: ast.Module
     lines: List[str]
     _random_aliases: frozenset = field(default=None, repr=False)  # type: ignore[assignment]
+    _nodes: Optional[List[ast.AST]] = field(default=None, repr=False)
 
     def path_endswith(self, *suffixes: str) -> bool:
         """Whether the file path matches any posix suffix (allowlists)."""
@@ -41,11 +44,23 @@ class FileContext:
         return ""
 
     @property
+    def nodes(self) -> List[ast.AST]:
+        """Every AST node, materialised once and shared by all rules.
+
+        Ten per-file rules each doing their own ``ast.walk`` costs more
+        than the parse itself; walking once and iterating a list keeps
+        whole-file rules O(nodes), not O(rules × nodes).
+        """
+        if self._nodes is None:
+            self._nodes = list(ast.walk(self.tree))
+        return self._nodes
+
+    @property
     def random_aliases(self) -> frozenset:
         """Local names bound to ``random.Random`` via ``from random import``."""
         if self._random_aliases is None:
             aliases = set()
-            for node in ast.walk(self.tree):
+            for node in self.nodes:
                 if isinstance(node, ast.ImportFrom) and node.module == "random":
                     for name in node.names:
                         if name.name == "Random":
@@ -78,9 +93,14 @@ class AstRule(Rule):
 
 
 class ProjectRule(Rule):
-    """A rule evaluated once over every scanned file (cross-file analysis)."""
+    """A rule evaluated once over the whole project (cross-file analysis).
 
-    def check_project(self, files: Sequence[FileContext]) -> Iterator:
+    ``project`` is a :class:`~repro.devtools.callgraph.ProjectContext`;
+    its import graphs, call graph, and constant folder are shared across
+    every project rule in the run, so each is computed at most once.
+    """
+
+    def check_project(self, project) -> Iterator:
         raise NotImplementedError
 
 
@@ -116,4 +136,10 @@ def get_rule(rule_id: str) -> Rule:
 
 def _ensure_loaded() -> None:
     # Importing the rule modules triggers their @register decorators.
-    from repro.devtools import layering, rules  # noqa: F401
+    from repro.devtools import (  # noqa: F401
+        fingerprints,
+        layering,
+        rng_lineage,
+        rules,
+        shard_safety,
+    )

@@ -1,0 +1,248 @@
+"""REP011: whole-program RNG stream lineage.
+
+Every random stream in the reproduction is ``derive_rng(seed, *path)`` —
+a pure function of the experiment seed and a string path — so stream
+independence is exactly label uniqueness: two call sites that derive the
+same fully-resolved path from the same seed expression share one stream,
+and every draw in one silently correlates the other.  That is invisible
+at runtime (both sites still "work") and unfindable after the fact at
+crawl scale, so this rule proves label uniqueness statically.
+
+The rule walks every ``derive_rng`` call site through the shared call
+graph: constant path elements fold directly; a path element that is a
+parameter of the enclosing function resolves through the constants bound
+at *its* call sites (so a helper taking ``rng_label`` forks into one
+lineage entry per caller, anchored at the caller).  Unresolvable paths
+are skipped — the analysis never guesses.
+
+It also flags RNG objects *escaping* their derivation scope: a generator
+bound to a module/class attribute at import time or baked into a default
+argument is shared mutable state — draw order then depends on call
+order across the whole program, which is exactly what stream derivation
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.callgraph import CallRecord, ProjectContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.rules import RNG_MODULE_SUFFIXES
+
+#: Fully dotted callables whose return value is a live RNG stream.
+_RNG_PRODUCERS = frozenset(
+    {
+        "repro.sim.rng.derive_rng",
+        "repro.sim.rng.split_rng",
+        "repro.parallel.executor.item_rng",
+        "repro.parallel.item_rng",
+        "random.Random",
+    }
+)
+
+#: The derivation entry point whose label paths must be unique.
+_DERIVE = "repro.sim.rng.derive_rng"
+
+
+def _param_names(node: ast.AST) -> frozenset:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs]
+    names += [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    return frozenset(names)
+
+
+def _seed_text(expr: ast.AST) -> str:
+    """A textual identity for the seed argument (hash-order-free)."""
+    return ast.dump(expr)
+
+
+def _format_label(label: Tuple[Any, ...]) -> str:
+    return "(" + ", ".join(repr(element) for element in label) + ")"
+
+
+@register
+class RngLineageRule(ProjectRule):
+    """REP011: colliding derive_rng stream labels and escaping RNG objects."""
+
+    id = "REP011"
+    summary = "RNG stream label collision or escaping RNG object"
+    allowed_path_suffixes = RNG_MODULE_SUFFIXES
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        yield from self._check_collisions(project)
+        yield from self._check_escapes(project)
+
+    # -- label collisions --------------------------------------------------- #
+
+    def _check_collisions(self, project: ProjectContext) -> Iterator[Finding]:
+        # (seed identity, resolved label) -> anchor sites, insertion-ordered.
+        lineage: Dict[Tuple[str, Tuple[Any, ...]], List[Tuple[str, int, str]]] = {}
+        for record in project.call_records:
+            if record.target != _DERIVE:
+                continue
+            resolved = self._resolve_sites(project, record)
+            if resolved is None:
+                continue
+            for file, line, snippet, label in resolved:
+                seed_id = _seed_text(record.node.args[0]) if record.node.args else ""
+                sites = lineage.setdefault((seed_id, label), [])
+                if (file, line, snippet) not in sites:
+                    sites.append((file, line, snippet))
+
+        for (_, label), sites in lineage.items():
+            if len(sites) < 2:
+                continue
+            first_file, first_line, _ = sites[0]
+            for file, line, snippet in sites[1:]:
+                yield Finding(
+                    rule=self.id,
+                    file=file,
+                    line=line,
+                    message=(
+                        f"RNG stream label {_format_label(label)} is also "
+                        f"derived at {first_file}:{first_line}; identical "
+                        "labels from one seed yield one shared stream — add "
+                        "a distinguishing path element"
+                    ),
+                    snippet=snippet,
+                )
+
+    def _resolve_sites(
+        self, project: ProjectContext, record: CallRecord
+    ) -> Optional[List[Tuple[str, int, str, Tuple[Any, ...]]]]:
+        """Every (file, line, snippet, resolved label) this call derives.
+
+        A direct constant path yields one entry at the call itself; path
+        elements that are parameters of the enclosing function yield one
+        entry per *binding* call site.  ``None`` when any element cannot
+        be resolved.
+        """
+        path_exprs = record.node.args[1:]
+        if not path_exprs or record.node.keywords:
+            return None
+        if any(isinstance(expr, ast.Starred) for expr in path_exprs):
+            return None
+        info = project.functions.get(record.caller) if record.caller else None
+        params = _param_names(info.node) if info is not None else frozenset()
+
+        elements: List[Tuple[str, Any]] = []
+        for expr in path_exprs:
+            folded, value = project.resolve_constant(record.ctx, expr)
+            if folded:
+                elements.append(("const", value))
+            elif isinstance(expr, ast.Name) and expr.id in params:
+                elements.append(("param", expr.id))
+            else:
+                return None
+
+        param_elements = sorted({name for kind, name in elements if kind == "param"})
+        if not param_elements:
+            label = tuple(value for _, value in elements)
+            line = record.node.lineno
+            return [(record.ctx.path, line, record.ctx.line_text(line), label)]
+
+        bindings = {
+            name: project.param_bindings(record.caller, name)
+            for name in param_elements
+        }
+        if any(bound is None for bound in bindings.values()):
+            return None
+        sites = project.calls_to.get(record.caller, [])
+        out: List[Tuple[str, int, str, Tuple[Any, ...]]] = []
+        for index, site in enumerate(sites):
+            label = tuple(
+                value if kind == "const" else bindings[value][index][1]
+                for kind, value in elements
+            )
+            line = site.node.lineno
+            out.append((site.ctx.path, line, site.ctx.line_text(line), label))
+        return out
+
+    # -- escaping RNG objects ----------------------------------------------- #
+
+    def _check_escapes(self, project: ProjectContext) -> Iterator[Finding]:
+        for ctx in project.files:
+            for scope, stmt in _import_time_statements(ctx.tree):
+                value = _assigned_value(stmt)
+                if value is None:
+                    continue
+                producer = _rng_producer(project, ctx, value)
+                if producer is not None:
+                    line = stmt.lineno
+                    yield Finding(
+                        rule=self.id,
+                        file=ctx.path,
+                        line=line,
+                        message=(
+                            f"RNG from {producer} escapes into a {scope} "
+                            "binding; a generator shared at import time "
+                            "makes draw order depend on call order — derive "
+                            "streams where they are consumed"
+                        ),
+                        snippet=ctx.line_text(line),
+                    )
+            for node in _function_defs(ctx.tree):
+                defaults = list(node.args.defaults) + [
+                    default
+                    for default in node.args.kw_defaults
+                    if default is not None
+                ]
+                for default in defaults:
+                    producer = _rng_producer(project, ctx, default)
+                    if producer is not None:
+                        line = default.lineno
+                        yield Finding(
+                            rule=self.id,
+                            file=ctx.path,
+                            line=line,
+                            message=(
+                                f"RNG from {producer} escapes into a default "
+                                "argument; defaults evaluate once at def "
+                                "time, so every call shares one stream — "
+                                "default to None and derive inside"
+                            ),
+                            snippet=ctx.line_text(line),
+                        )
+
+
+def _import_time_statements(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.stmt]]:
+    """(scope, stmt) for module- and class-level assignment statements."""
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            yield "module-global", stmt
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    yield "class-attribute", sub
+
+
+def _function_defs(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node
+
+
+def _assigned_value(stmt: ast.stmt) -> Optional[ast.AST]:
+    if isinstance(stmt, ast.Assign):
+        return stmt.value
+    if isinstance(stmt, ast.AnnAssign):
+        return stmt.value
+    return None
+
+
+def _rng_producer(
+    project: ProjectContext, ctx, value: Optional[ast.AST]
+) -> Optional[str]:
+    """The producer's dotted name when ``value`` constructs a live RNG."""
+    if not isinstance(value, ast.Call):
+        return None
+    target = project.dotted_target(ctx, value.func)
+    if target in _RNG_PRODUCERS:
+        return target
+    return None

@@ -8,9 +8,9 @@ they flag has a sanctioned rewrite documented in the finding message.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
-from repro.devtools.findings import Finding
+from repro.devtools.findings import Finding, Fix
 from repro.devtools.registry import AstRule, FileContext, register
 
 #: The one module allowed to construct random.Random / reseed streams raw:
@@ -18,7 +18,13 @@ from repro.devtools.registry import AstRule, FileContext, register
 RNG_MODULE_SUFFIXES = ("sim/rng.py",)
 
 
-def _finding(rule: "AstRule", ctx: FileContext, node: ast.AST, message: str) -> Finding:
+def _finding(
+    rule: "AstRule",
+    ctx: FileContext,
+    node: ast.AST,
+    message: str,
+    fix: Optional[Fix] = None,
+) -> Finding:
     line = getattr(node, "lineno", 1)
     return Finding(
         rule=rule.id,
@@ -26,7 +32,46 @@ def _finding(rule: "AstRule", ctx: FileContext, node: ast.AST, message: str) -> 
         line=line,
         message=message,
         snippet=ctx.line_text(line),
+        fix=fix,
     )
+
+
+def _source_segment(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    """The exact source text a node spans, or None without end positions."""
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    if end_line == node.lineno:
+        return ctx.lines[node.lineno - 1][node.col_offset : end_col]
+    parts = [ctx.lines[node.lineno - 1][node.col_offset :]]
+    parts.extend(ctx.lines[node.lineno : end_line - 1])
+    parts.append(ctx.lines[end_line - 1][:end_col])
+    return "\n".join(parts)
+
+
+def _replace_with(ctx: FileContext, node: ast.AST, replacement: str) -> Optional[Fix]:
+    """A fix replacing exactly the node's span, when the span is known."""
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return Fix(
+        file=ctx.path,
+        start_line=node.lineno,
+        start_col=node.col_offset,
+        end_line=end_line,
+        end_col=end_col,
+        replacement=replacement,
+    )
+
+
+def _wrap_sorted(ctx: FileContext, node: ast.AST) -> Optional[Fix]:
+    """A fix wrapping the node's source in ``sorted(...)``."""
+    segment = _source_segment(ctx, node)
+    if segment is None:
+        return None
+    return _replace_with(ctx, node, f"sorted({segment})")
 
 
 def _is_random_random(func: ast.AST, ctx: FileContext) -> bool:
@@ -60,7 +105,7 @@ class RawSeedRule(AstRule):
     allowed_path_suffixes = RNG_MODULE_SUFFIXES
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             if not isinstance(node, ast.Call):
                 continue
             if not _is_random_random(node.func, ctx):
@@ -90,7 +135,7 @@ class AdHocSplitRule(AstRule):
     allowed_path_suffixes = RNG_MODULE_SUFFIXES
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             if not isinstance(node, ast.Call):
                 continue
             if not _is_random_random(node.func, ctx):
@@ -130,12 +175,12 @@ class WallClockRule(AstRule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         from_time_aliases = {
             name.asname or name.name
-            for node in ast.walk(ctx.tree)
+            for node in ctx.nodes
             if isinstance(node, ast.ImportFrom) and node.module == "time"
             for name in node.names
             if name.name == "time"
         }
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -181,7 +226,7 @@ class BuiltinRaiseRule(AstRule):
     summary = "builtin exception raised (use the repro.errors hierarchy)"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             if not isinstance(node, ast.Raise) or node.exc is None:
                 continue
             exc = node.exc
@@ -224,7 +269,7 @@ class SetOrderingRule(AstRule):
     summary = "nondeterministic set ordering (wrap in sorted(...))"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Name)
@@ -232,12 +277,24 @@ class SetOrderingRule(AstRule):
                 and len(node.args) == 1
                 and _is_set_expr(node.args[0])
             ):
+                # list(set(x)) → sorted(set(x)) keeps the dedup and returns
+                # a list; tuple(...) keeps its wrapper, sorting the inner.
+                if node.func.id == "list":
+                    segment = _source_segment(ctx, node.args[0])
+                    fix = (
+                        _replace_with(ctx, node, f"sorted({segment})")
+                        if segment is not None
+                        else None
+                    )
+                else:
+                    fix = _wrap_sorted(ctx, node.args[0])
                 yield _finding(
                     self,
                     ctx,
                     node,
                     f"{node.func.id}(set(...)) materialises hash order; use "
                     "sorted(...) for a stable ordering",
+                    fix=fix,
                 )
             elif isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
                 node.iter
@@ -248,6 +305,7 @@ class SetOrderingRule(AstRule):
                     node,
                     "iterating a set expression in hash order; wrap it in "
                     "sorted(...)",
+                    fix=_wrap_sorted(ctx, node.iter),
                 )
             elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
                 # SetComp is exempt: its result is unordered regardless.
@@ -259,6 +317,7 @@ class SetOrderingRule(AstRule):
                             comp.iter,
                             "comprehension over a set expression iterates in "
                             "hash order; wrap it in sorted(...)",
+                            fix=_wrap_sorted(ctx, comp.iter),
                         )
 
 
@@ -290,7 +349,7 @@ class RawConcurrencyRule(AstRule):
         return PARALLEL_PACKAGE_FRAGMENT not in ctx.path
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             flagged = None
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -370,7 +429,7 @@ class ExceptionSwallowRule(AstRule):
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             if not isinstance(node, ast.ExceptHandler):
                 continue
             if node.type is None:
@@ -444,12 +503,12 @@ class AdHocInstrumentationRule(AstRule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         perf_counter_aliases = {
             name.asname or name.name
-            for node in ast.walk(ctx.tree)
+            for node in ctx.nodes
             if isinstance(node, ast.ImportFrom) and node.module == "time"
             for name in node.names
             if name.name == "perf_counter"
         }
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -546,7 +605,7 @@ class ArtifactWriteRule(AstRule):
         return not ctx.path_endswith(*_ARTIFACT_WRITE_EXEMPT_SUFFIXES)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes:
             if not isinstance(node, ast.Call):
                 continue
             func = node.func

@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 rendering of a lint report.
+
+SARIF is the interchange format CI annotation uploads understand; one
+``repro lint --format sarif`` artifact per run lets the findings land as
+inline review annotations without any bespoke glue.  The output is
+*byte-stable*: rules and results are emitted in sorted order, the JSON
+is dumped with fixed separators and indentation, and nothing
+environment-dependent (timestamps, absolute paths, tool versions beyond
+the schema constant) enters the document — the same tree lints to the
+same bytes on any machine, so the artifact itself can be diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import all_rules
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+
+
+def _rule_descriptor(rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    "region": {"startLine": finding.line},
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The findings as a deterministic SARIF 2.1.0 document (one run).
+
+    The driver lists every registered rule — not just the violated ones —
+    so consumers can tell "rule passed" from "rule absent"; both lists are
+    sorted, making the document a pure function of the findings.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    rules: List[Dict[str, object]] = [
+        _rule_descriptor(rule) for rule in all_rules()
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(finding) for finding in ordered],
+            }
+        ],
+    }
+    return json.dumps(
+        document, indent=2, sort_keys=True, separators=(",", ": ")
+    ) + "\n"

@@ -1,0 +1,101 @@
+"""Fingerprint-drift cross-check between a store and the source tree.
+
+``repro store verify`` already proves the store's *bytes* are intact.
+This module proves the store's *keys* are still meaningful: each cached
+stage artifact records the code fingerprint it was computed under, and
+REP012's static resolution of the source tree yields the module tuple
+each stage declares *today*.  Re-hashing the declared tuple and
+comparing it against what the artifact recorded tells you exactly which
+cached stages the current code can no longer reproduce — before a warm
+run quietly recomputes (or worse, a stale-keyed store silently replays)
+them.
+
+Drift is not corruption: an artifact whose fingerprint drifted is still
+byte-perfect, it just belongs to an older code state.  The check
+therefore reports informational lines and does not affect ``verify``'s
+exit code; corruption still does.
+
+Layering note: this lives in devtools, not store, because it parses the
+source tree — the store itself must stay payload- and source-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.devtools.astcache import AstCache
+from repro.devtools.callgraph import ProjectContext
+from repro.devtools.engine import iter_python_files
+from repro.devtools.fingerprints import iter_stage_wirings
+from repro.errors import ConfigError, ReproError, StoreError
+
+
+def stage_declarations(paths: Tuple[str, ...]) -> Dict[str, Tuple[str, ...]]:
+    """Stage name → declared modules tuple, statically resolved.
+
+    Parses every Python file under ``paths`` and resolves each
+    ``Stage(...)`` wiring exactly as REP012 does.  A stage wired more
+    than once with *different* tuples maps to the first in scan order —
+    REP012 itself polices consistency.
+    """
+    cache = AstCache()
+    project = ProjectContext(cache.contexts(iter_python_files(paths)))
+    declarations: Dict[str, Tuple[str, ...]] = {}
+    for _, _, _, declared, stage_name in iter_stage_wirings(project):
+        declarations.setdefault(stage_name, declared)
+    return declarations
+
+
+def fingerprint_drift(store, src_paths: Tuple[str, ...]) -> List[str]:
+    """Informational drift lines for ``repro store verify``.
+
+    For every index entry, compares the fingerprint recorded inside the
+    cached payload against the fingerprint of the stage's *currently
+    declared* module tuple.  Lines come out sorted (stage, key) so the
+    report is deterministic.
+    """
+    from repro.store.admin import iter_index
+    from repro.store.keys import code_fingerprint
+
+    try:
+        declarations = stage_declarations(src_paths)
+    except ConfigError as exc:
+        return [f"drift check skipped: {exc}"]
+
+    current: Dict[str, str] = {}
+    for stage_name, declared in declarations.items():
+        try:
+            current[stage_name] = code_fingerprint(declared)
+        except ReproError:
+            # A declared module that does not import (renamed, deleted)
+            # is itself drift: every cached entry for the stage reports.
+            current[stage_name] = "<unresolvable-declaration>"
+
+    lines: List[str] = []
+    try:
+        entries = list(iter_index(store))
+    except StoreError as exc:
+        return [str(exc)]
+    for entry in entries:
+        expected = current.get(entry.stage)
+        if expected is None:
+            lines.append(
+                f"drift {entry.stage} key={entry.key_digest[:12]}: stage has "
+                "no statically resolvable declaration in the source tree"
+            )
+            continue
+        try:
+            payload = store.cas.get(entry.object_digest)
+            recorded = payload["key"]["fingerprint"]
+        except (ReproError, ValueError, KeyError, TypeError):
+            # Unreadable objects are verify()'s corruption problem, not
+            # a drift line.
+            continue
+        if recorded != expected:
+            lines.append(
+                f"drift {entry.stage} key={entry.key_digest[:12]}: artifact "
+                f"fingerprint {str(recorded)[:12]} != current declared-tuple "
+                f"fingerprint {expected[:12]} — the cached artifact predates "
+                "the current code and will recompute on the next run"
+            )
+    return lines

@@ -45,40 +45,69 @@ from repro.sim.clock import DAY
 from repro.sim.rng import derive_rng
 from repro.store import ArtifactStore, Stage, StateCursor
 
-#: Modules every stage's behaviour depends on: the transport and fault
-#: plane that answer probes, the RNG/clock substrate, and the world
-#: generator.  Each stage adds its own implementation modules on top;
-#: together they form the stage's code fingerprint, so editing any of
-#: them invalidates the affected checkpoints.
-_CORE_MODULES: Tuple[str, ...] = (
-    "repro.experiments.pipeline",
-    "repro.faults.plan",
-    "repro.faults.retry",
-    "repro.faults.transport",
-    "repro.net.endpoint",
-    "repro.net.transport",
-    "repro.population.generator",
-    "repro.population.spec",
-    "repro.sim.clock",
-    "repro.sim.rng",
-)
-
-_SCAN_MODULES = _CORE_MODULES + (
-    "repro.scan.results",
-    "repro.scan.scanner",
-    "repro.scan.schedule",
-)
-_CERT_MODULES = _CORE_MODULES + ("repro.scan.tls",)
-_CRAWL_MODULES = _CORE_MODULES + (
-    "repro.crawl.crawler",
-    "repro.crawl.page",
-)
-_CLASSIFY_MODULES = _CORE_MODULES + (
+#: Every module in the pipeline module's transitive import closure
+#: (minus the fingerprint-exempt infra layers), kept flat and sorted so
+#: ``repro lint`` (REP012) can statically prove the stage fingerprints
+#: cover the code they cache.  All four stages run in this module and
+#: share its closure, so they share one tuple; editing any listed module
+#: invalidates every pipeline checkpoint, which is exactly the safe
+#: direction to err.
+_PIPELINE_STAGE_MODULES: Tuple[str, ...] = (
+    "repro.analysis.report",
+    "repro.analysis.stats",
+    "repro.classify",
     "repro.classify.language",
     "repro.classify.naive_bayes",
     "repro.classify.tokenize",
     "repro.classify.topics",
+    "repro.classify.training",
+    "repro.client.client",
+    "repro.client.guards",
+    "repro.client.workload",
+    "repro.crawl",
+    "repro.crawl.crawler",
     "repro.crawl.filters",
+    "repro.crawl.page",
+    "repro.crypto.descriptor_id",
+    "repro.crypto.keys",
+    "repro.crypto.onion",
+    "repro.crypto.ring",
+    "repro.crypto.vanity",
+    "repro.dirauth.consensus",
+    "repro.experiments.pipeline",
+    "repro.faults",
+    "repro.faults.plan",
+    "repro.faults.profiles",
+    "repro.faults.retry",
+    "repro.faults.taxonomy",
+    "repro.faults.transport",
+    "repro.hs.descriptor",
+    "repro.hs.service",
+    "repro.hsdir.directory",
+    "repro.io",
+    "repro.net.address",
+    "repro.net.endpoint",
+    "repro.net.geoip",
+    "repro.net.transport",
+    "repro.parallel",
+    "repro.parallel.executor",
+    "repro.popularity.ranking",
+    "repro.popularity.timeseries",
+    "repro.population",
+    "repro.population.botnets",
+    "repro.population.content",
+    "repro.population.corpus",
+    "repro.population.generator",
+    "repro.population.spec",
+    "repro.population.webserver",
+    "repro.relay.flags",
+    "repro.scan",
+    "repro.scan.results",
+    "repro.scan.scanner",
+    "repro.scan.schedule",
+    "repro.scan.tls",
+    "repro.sim.clock",
+    "repro.sim.rng",
 )
 
 
@@ -285,7 +314,7 @@ class MeasurementPipeline:
 
             self._scan = self._run_stage(
                 "scan",
-                _SCAN_MODULES,
+                _PIPELINE_STAGE_MODULES,
                 repro_io.scan_to_dict,
                 repro_io.scan_from_dict,
                 self._compute_scan,
@@ -309,7 +338,7 @@ class MeasurementPipeline:
             self.scan()  # the upstream artifact feeds this stage's key
             self._certs = self._run_stage(
                 "certificates",
-                _CERT_MODULES,
+                _PIPELINE_STAGE_MODULES,
                 repro_io.certificates_to_dict,
                 repro_io.certificates_from_dict,
                 self._compute_certificates,
@@ -335,7 +364,7 @@ class MeasurementPipeline:
             self.scan()
             self._crawl = self._run_stage(
                 "crawl",
-                _CRAWL_MODULES,
+                _PIPELINE_STAGE_MODULES,
                 repro_io.crawl_to_dict,
                 repro_io.crawl_from_dict,
                 self._compute_crawl,
@@ -376,7 +405,7 @@ class MeasurementPipeline:
             self.crawl()
             self._classification = self._run_stage(
                 "classify",
-                _CLASSIFY_MODULES,
+                _PIPELINE_STAGE_MODULES,
                 repro_io.classification_to_dict,
                 repro_io.classification_from_dict,
                 self._compute_classify,

@@ -131,7 +131,7 @@ class TestStoreCli:
         assert main(["fig1", "--scale", "0.02", "--store", root]) == 0
         capsys.readouterr()
         assert main(["store", "verify", "--store", root]) == 0
-        assert "[verify: 0 problem(s)]" in capsys.readouterr().out
+        assert "[verify: 0 problem(s)" in capsys.readouterr().out
         assert main(["store", "gc", "--store", root]) == 0
         assert "removed 0 object(s)" in capsys.readouterr().out
 
