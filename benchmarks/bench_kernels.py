@@ -1,0 +1,61 @@
+"""Bench: the four hot-path kernels, scalar reference vs batch, one policy.
+
+Each cell runs through :func:`repro.bench.run_workload` — the same
+warmup/repeat loop the ``repro bench`` CLI and the committed
+``BENCH_*.json`` trajectories use — so a number measured here is directly
+comparable to a trajectory point.  The report artifact is the text *view*
+of an in-memory trajectory: the JSON document shape is the source of
+truth, the table is rendered from it.
+
+Every cell also asserts the bench plane's core invariant inline: the batch
+kernel's checksum equals the scalar reference's, so a speedup can never be
+bought with a silently different answer.
+"""
+
+import pytest
+
+from conftest import save_report
+
+from repro.bench import (
+    HOT_PATH_WORKLOADS,
+    Trajectory,
+    render_trajectory_text,
+    run_workload,
+)
+
+TIER = "small"
+
+
+@pytest.mark.parametrize("name", HOT_PATH_WORKLOADS)
+def test_kernel_speedup(benchmark, report_dir, name):
+    scalar = run_workload(name, TIER, "scalar", repeats=3, warmup=1, label="bench")
+    batch = benchmark.pedantic(
+        lambda: run_workload(name, TIER, "batch", repeats=3, warmup=1, label="bench"),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The equivalence oracle, enforced at bench time too: identical bytes
+    # reduced to identical checksums, or the perf number is meaningless.
+    assert batch.checksum == scalar.checksum
+    assert batch.items == scalar.items
+
+    speedup = (
+        scalar.wall.min_seconds / batch.wall.min_seconds
+        if batch.wall.min_seconds
+        else 0.0
+    )
+    benchmark.extra_info["scalar_min_seconds"] = round(scalar.wall.min_seconds, 4)
+    benchmark.extra_info["batch_min_seconds"] = round(batch.wall.min_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    trajectory = Trajectory(name=name, points=[scalar, batch])
+    text = "\n".join(
+        [
+            render_trajectory_text(trajectory),
+            "",
+            f"speedup (scalar/batch, min over repeats)  {speedup:.2f}x",
+            "checksums kernel-identical                yes (asserted)",
+        ]
+    )
+    save_report(report_dir, f"kernel_{name}", text)

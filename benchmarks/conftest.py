@@ -20,6 +20,11 @@ import pathlib
 
 import pytest
 
+from repro.bench.reporting import (  # noqa: F401  (re-exported to benches)
+    record_phase_timings,
+    save_report,
+    save_span_report,
+)
 from repro.experiments.pipeline import MeasurementPipeline
 from repro.parallel import resolve_workers
 from repro.store import open_store
@@ -49,29 +54,3 @@ def full_pipeline(workers, store):
 def report_dir():
     REPORT_DIR.mkdir(exist_ok=True)
     return REPORT_DIR
-
-
-def save_report(report_dir: pathlib.Path, name: str, text: str) -> None:
-    """Persist a report artifact and echo it for -s runs."""
-    (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n")
-
-
-def save_span_report(report_dir: pathlib.Path, name: str, observer) -> None:
-    """Persist the pipeline's per-phase span-timing tree (simulated time).
-
-    The tree shows where the campaign's simulated seconds went (the scan's
-    eight days, the crawl's connect latencies) — the deterministic
-    complement to the benchmark's wall-clock numbers.
-    """
-    from repro.obs import render_spans
-
-    text = render_spans(observer)
-    (report_dir / f"{name}_spans.txt").write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n")
-
-
-def record_phase_timings(benchmark, observer) -> None:
-    """Attach each top-level span's simulated duration as extra_info."""
-    for span in observer.spans:
-        benchmark.extra_info[f"sim_seconds[{span.name}]"] = span.duration

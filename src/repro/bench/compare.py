@@ -1,0 +1,190 @@
+"""Diffing trajectories: the perf-regression gate.
+
+Two failure classes, deliberately distinct:
+
+* **Regression** (exit 1) — the current run's best wall time for some
+  ``(tier, kernel)`` cell is more than the threshold slower than the
+  baseline's, *or* its checksum drifted at equal item count, which means a
+  kernel stopped being byte-equivalent to its reference.  Both are verdicts
+  about the code.
+* **Not comparable** (exit 2) — the documents cannot be meaningfully
+  diffed: different workloads, no overlapping cells, or (at the CLI) a
+  missing baseline or a schema-version mismatch.  These are verdicts about
+  the harness, and CI must not paint them green *or* blame the code.
+
+Comparison uses ``min_seconds``: the minimum over repeats is the least
+noise-contaminated estimate of a deterministic workload's cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bench.schema import BenchRecord, Trajectory
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_NOT_COMPARABLE = 2
+
+#: Wall-time slowdown tolerated before a cell counts as regressed, percent.
+DEFAULT_THRESHOLD_PCT = 20.0
+
+
+@dataclass(frozen=True)
+class ComparedPoint:
+    """The verdict for one ``(tier, kernel)`` cell present in both runs."""
+
+    tier: str
+    kernel: str
+    baseline_seconds: float
+    current_seconds: float
+    delta_pct: float
+    checksum_drift: bool
+    regressed: bool
+
+    def describe(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        note = " [checksum drift]" if self.checksum_drift else ""
+        return (
+            f"{self.tier}/{self.kernel}: {self.baseline_seconds:.4f}s -> "
+            f"{self.current_seconds:.4f}s ({self.delta_pct:+.1f}%) "
+            f"{verdict}{note}"
+        )
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one trajectory diff."""
+
+    exit_code: int
+    points: List[ComparedPoint] = field(default_factory=list)
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == EXIT_OK
+
+    def describe(self) -> str:
+        lines = [point.describe() for point in self.points]
+        lines.extend(self.messages)
+        lines.append(f"exit {self.exit_code}")
+        return "\n".join(lines)
+
+
+def _last_per_cell(points: List[BenchRecord]) -> Dict[Tuple[str, str], BenchRecord]:
+    cells: Dict[Tuple[str, str], BenchRecord] = {}
+    for point in points:  # later points overwrite: the latest run speaks
+        cells[(point.tier, point.kernel)] = point
+    return cells
+
+
+def _compare_cell(
+    baseline: BenchRecord, current: BenchRecord, threshold_pct: float
+) -> ComparedPoint:
+    # A checksum drift at equal item count means a kernel's output changed —
+    # the byte-equivalence contract broke, which no speedup can excuse.
+    # At different item counts the workload spec itself changed, and the
+    # wall times are not comparable either; that case never reaches here.
+    drift = baseline.checksum != current.checksum
+    base_seconds = baseline.wall.min_seconds
+    cur_seconds = current.wall.min_seconds
+    if base_seconds > 0:
+        delta_pct = (cur_seconds - base_seconds) / base_seconds * 100.0
+    else:
+        delta_pct = 0.0
+    return ComparedPoint(
+        tier=baseline.tier,
+        kernel=baseline.kernel,
+        baseline_seconds=base_seconds,
+        current_seconds=cur_seconds,
+        delta_pct=delta_pct,
+        checksum_drift=drift,
+        regressed=drift or delta_pct > threshold_pct,
+    )
+
+
+def compare_trajectories(
+    baseline: Trajectory,
+    current: Trajectory,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> CompareResult:
+    """Diff the latest run of every cell present in both trajectories."""
+    if baseline.name != current.name:
+        return CompareResult(
+            exit_code=EXIT_NOT_COMPARABLE,
+            messages=[
+                f"cannot compare workload {current.name!r} "
+                f"against baseline {baseline.name!r}"
+            ],
+        )
+    base_cells = _last_per_cell(baseline.points)
+    cur_cells = _last_per_cell(current.points)
+    shared = sorted(set(base_cells) & set(cur_cells))
+    messages = [
+        f"no baseline for cell {tier}/{kernel}"
+        for tier, kernel in sorted(set(cur_cells) - set(base_cells))
+    ]
+    if not shared:
+        messages.append(f"no comparable cells for workload {current.name!r}")
+        return CompareResult(exit_code=EXIT_NOT_COMPARABLE, messages=messages)
+    points = []
+    for cell in shared:
+        base, cur = base_cells[cell], cur_cells[cell]
+        if base.items != cur.items:
+            # The workload spec changed size between runs: wall times (and
+            # checksums) are about different work, so skip the cell loudly.
+            messages.append(
+                f"cell {cell[0]}/{cell[1]} changed size "
+                f"({base.items} -> {cur.items} items); not compared"
+            )
+            continue
+        points.append(_compare_cell(base, cur, threshold_pct))
+    if not points:
+        return CompareResult(exit_code=EXIT_NOT_COMPARABLE, messages=messages)
+    exit_code = (
+        EXIT_REGRESSION if any(point.regressed for point in points) else EXIT_OK
+    )
+    return CompareResult(exit_code=exit_code, points=points, messages=messages)
+
+
+def compare_within(
+    trajectory: Trajectory, threshold_pct: float = DEFAULT_THRESHOLD_PCT
+) -> CompareResult:
+    """Diff a trajectory's last point against its own previous run.
+
+    The single-file variant of :func:`compare_trajectories`: the point
+    before the last one *in the same cell* is the baseline.  With fewer
+    than two runs of that cell there is nothing to say (exit 2).
+    """
+    if not trajectory.points:
+        return CompareResult(
+            exit_code=EXIT_NOT_COMPARABLE,
+            messages=[f"trajectory {trajectory.name!r} has no points"],
+        )
+    last = trajectory.points[-1]
+    previous = None
+    for point in trajectory.points[:-1]:
+        if (point.tier, point.kernel) == (last.tier, last.kernel):
+            previous = point
+    if previous is None:
+        return CompareResult(
+            exit_code=EXIT_NOT_COMPARABLE,
+            messages=[
+                f"no earlier {last.tier}/{last.kernel} point to compare "
+                f"against in {trajectory.name!r}"
+            ],
+        )
+    if previous.items != last.items:
+        return CompareResult(
+            exit_code=EXIT_NOT_COMPARABLE,
+            messages=[
+                f"cell {last.tier}/{last.kernel} changed size "
+                f"({previous.items} -> {last.items} items); not compared"
+            ],
+        )
+    point = _compare_cell(previous, last, threshold_pct)
+    return CompareResult(
+        exit_code=EXIT_REGRESSION if point.regressed else EXIT_OK,
+        points=[point],
+    )

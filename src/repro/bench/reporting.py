@@ -1,0 +1,41 @@
+"""Report-artifact plumbing shared by every ``benchmarks/bench_*.py``.
+
+Until the bench plane existed, each benchmark carried its own copy of the
+"write ``reports/<name>.txt`` and echo it" helper via ``conftest.py``; the
+one implementation now lives here so the report policy (encoding, trailing
+newline, echo for ``-s`` runs) cannot drift between benches.  Text reports
+remain *views*: anything machine-gated goes through the JSON trajectories
+in :mod:`repro.bench.trajectory`, never through these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def save_report(report_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a report artifact and echo it for ``-s`` runs."""
+    report_dir.mkdir(exist_ok=True)
+    (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+
+
+def save_span_report(report_dir: pathlib.Path, name: str, observer) -> None:
+    """Persist a run's per-phase span-timing tree (simulated time).
+
+    The tree shows where the campaign's simulated seconds went (the scan's
+    eight days, the crawl's connect latencies) — the deterministic
+    complement to the benchmark's wall-clock numbers.
+    """
+    from repro.obs import render_spans
+
+    text = render_spans(observer)
+    report_dir.mkdir(exist_ok=True)
+    (report_dir / f"{name}_spans.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+
+
+def record_phase_timings(benchmark, observer) -> None:
+    """Attach each top-level span's simulated duration as extra_info."""
+    for span in observer.spans:
+        benchmark.extra_info[f"sim_seconds[{span.name}]"] = span.duration

@@ -1,0 +1,97 @@
+"""The shared warmup/repeat measurement loop.
+
+One policy for every benchmark: untimed setup, ``warmup`` discarded runs
+(JIT-free Python still benefits — allocator warmth, branch caches, the
+timeseries packed-log cache), then ``repeats`` timed runs whose wall times
+all land in the record.  The checksum every run returns must be identical
+across repeats — a drifting checksum means the workload is not
+deterministic, which is a configuration bug, not a perf result.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.bench.schema import BenchRecord, WallStats
+from repro.bench.workloads import Workload, get_workload
+from repro.errors import BenchError
+from repro.obs.scope import Observer, ensure_observer
+
+
+def run_workload(
+    workload: Union[str, Workload],
+    tier: str,
+    kernel: str,
+    repeats: int = 3,
+    warmup: int = 1,
+    label: str = "",
+    workers: int = 1,
+    observer: Optional[Observer] = None,
+) -> BenchRecord:
+    """Measure one ``(workload, tier, kernel)`` cell and return its record.
+
+    ``label`` annotates the point in the trajectory (e.g. which commit or
+    experiment produced it); ``workers`` is recorded for context only — the
+    workloads themselves run in-process so their checksums never depend on
+    the environment.  ``observer`` receives wall-time histograms and run
+    counters on the ordinary obs plane.
+    """
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    if tier not in workload.tiers:
+        raise BenchError(
+            f"workload {workload.name!r} has no tier {tier!r} "
+            f"(available: {', '.join(workload.tiers)})"
+        )
+    if repeats < 1:
+        raise BenchError(f"repeats must be positive: {repeats}")
+    if warmup < 0:
+        raise BenchError(f"warmup must be non-negative: {warmup}")
+    obs = ensure_observer(observer)
+
+    state = workload.setup(tier)
+    for _ in range(warmup):
+        workload.run(state, kernel)
+
+    per_repeat = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        current = workload.run(state, kernel)
+        per_repeat.append(time.perf_counter() - started)
+        if result is not None and current.checksum != result.checksum:
+            raise BenchError(
+                f"workload {workload.name!r} is not deterministic: checksum "
+                f"changed between repeats ({result.checksum[:12]}… vs "
+                f"{current.checksum[:12]}…)"
+            )
+        result = current
+        obs.count("bench_runs_total", workload=workload.name, kernel=kernel)
+        obs.observe(
+            "bench_wall_seconds",
+            per_repeat[-1],
+            workload=workload.name,
+            kernel=kernel,
+        )
+    obs.gauge("bench_items", result.items, workload=workload.name, tier=tier)
+
+    return BenchRecord(
+        name=workload.name,
+        hot_path=workload.hot_path,
+        tier=tier,
+        kernel=kernel,
+        label=label,
+        workers=workers,
+        warmup=warmup,
+        repeats=repeats,
+        items=result.items,
+        checksum=result.checksum,
+        sim_seconds=result.sim_seconds,
+        wall=WallStats(
+            mean_seconds=sum(per_repeat) / len(per_repeat),
+            min_seconds=min(per_repeat),
+            max_seconds=max(per_repeat),
+            per_repeat_seconds=tuple(per_repeat),
+        ),
+    )

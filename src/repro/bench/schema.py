@@ -1,0 +1,193 @@
+"""The ``BENCH_*.json`` trajectory schema.
+
+A *trajectory* is the perf history of one named workload: an ordered list of
+*points*, each one run of the workload on some machine.  Everything in a
+point except the ``wall`` timing block is deterministic — workload identity,
+parameters, item count, and the result checksum that anchors the kernels'
+byte-equivalence — so two trajectories are diffable with ``strip_timing``
+and a golden can pin the format byte-for-byte.
+
+Loaders are strict: a missing field or an unknown schema version raises
+:class:`~repro.errors.BenchSchemaError` instead of guessing, exactly like
+the :mod:`repro.io` loaders (schema drift must fail loudly, not skew a
+comparison silently).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.errors import BenchSchemaError
+
+#: Version stamped into every record and trajectory; bump on layout change.
+SCHEMA_VERSION = 1
+
+#: Top-level record keys that hold run-to-run-varying timings.  Everything
+#: else must be byte-stable for a fixed workload spec.
+TIMING_FIELDS = ("wall",)
+
+
+@dataclass(frozen=True)
+class WallStats:
+    """Wall-clock statistics over a run's timed repeats (seconds)."""
+
+    mean_seconds: float
+    min_seconds: float
+    max_seconds: float
+    per_repeat_seconds: Tuple[float, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+            "per_repeat_seconds": list(self.per_repeat_seconds),
+        }
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One trajectory point: one measured run of one workload spec."""
+
+    name: str
+    hot_path: str
+    tier: str
+    kernel: str
+    label: str
+    workers: int
+    warmup: int
+    repeats: int
+    items: int
+    checksum: str
+    sim_seconds: int
+    wall: WallStats
+
+
+@dataclass
+class Trajectory:
+    """The ordered perf history stored in one ``BENCH_<name>.json``."""
+
+    name: str
+    points: List[BenchRecord] = field(default_factory=list)
+
+    @property
+    def last(self) -> BenchRecord:
+        if not self.points:
+            raise BenchSchemaError(f"trajectory {self.name!r} has no points")
+        return self.points[-1]
+
+
+def _field(data: Mapping[str, Any], key: str, kinds, where: str):
+    if key not in data:
+        raise BenchSchemaError(f"{where}: missing field {key!r}")
+    value = data[key]
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise BenchSchemaError(
+            f"{where}: field {key!r} has type {type(value).__name__}"
+        )
+    return value
+
+
+def _check_schema(data: Mapping[str, Any], where: str) -> None:
+    version = _field(data, "schema", int, where)
+    if version != SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"{where}: schema version {version} does not match "
+            f"supported version {SCHEMA_VERSION}"
+        )
+
+
+def record_to_dict(record: BenchRecord) -> Dict[str, Any]:
+    """The JSON shape of one trajectory point (schema-stamped)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": record.name,
+        "hot_path": record.hot_path,
+        "tier": record.tier,
+        "kernel": record.kernel,
+        "label": record.label,
+        "workers": record.workers,
+        "warmup": record.warmup,
+        "repeats": record.repeats,
+        "items": record.items,
+        "checksum": record.checksum,
+        "sim_seconds": record.sim_seconds,
+        "wall": record.wall.to_dict(),
+    }
+
+
+def record_from_dict(data: Mapping[str, Any]) -> BenchRecord:
+    """Strict decode of one trajectory point."""
+    where = "bench record"
+    _check_schema(data, where)
+    wall = _field(data, "wall", dict, where)
+    per_repeat = _field(wall, "per_repeat_seconds", list, "bench record wall")
+    return BenchRecord(
+        name=_field(data, "name", str, where),
+        hot_path=_field(data, "hot_path", str, where),
+        tier=_field(data, "tier", str, where),
+        kernel=_field(data, "kernel", str, where),
+        label=_field(data, "label", str, where),
+        workers=_field(data, "workers", int, where),
+        warmup=_field(data, "warmup", int, where),
+        repeats=_field(data, "repeats", int, where),
+        items=_field(data, "items", int, where),
+        checksum=_field(data, "checksum", str, where),
+        sim_seconds=_field(data, "sim_seconds", int, where),
+        wall=WallStats(
+            mean_seconds=_field(wall, "mean_seconds", (int, float), where),
+            min_seconds=_field(wall, "min_seconds", (int, float), where),
+            max_seconds=_field(wall, "max_seconds", (int, float), where),
+            per_repeat_seconds=tuple(float(v) for v in per_repeat),
+        ),
+    )
+
+
+def trajectory_to_dict(trajectory: Trajectory) -> Dict[str, Any]:
+    """The JSON shape of a whole ``BENCH_<name>.json`` document."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": trajectory.name,
+        "points": [record_to_dict(point) for point in trajectory.points],
+    }
+
+
+def trajectory_from_dict(data: Mapping[str, Any]) -> Trajectory:
+    """Strict decode of a whole trajectory document."""
+    where = "bench trajectory"
+    if not isinstance(data, Mapping):
+        raise BenchSchemaError(f"{where}: document is not an object")
+    _check_schema(data, where)
+    points = _field(data, "points", list, where)
+    return Trajectory(
+        name=_field(data, "name", str, where),
+        points=[record_from_dict(point) for point in points],
+    )
+
+
+def canonical_json(data: Mapping[str, Any]) -> str:
+    """The one rendering every BENCH artifact uses: sorted, indented, LF-final.
+
+    Key order, indentation, and the trailing newline are all pinned so that
+    identical content is identical bytes — which is what makes trajectories
+    diffable and the schema golden meaningful.
+    """
+    return json.dumps(data, indent=2, sort_keys=True, ensure_ascii=False) + "\n"
+
+
+def strip_timing(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """A copy of a record/trajectory dict with the timing blocks removed.
+
+    Applied to every point of a trajectory dict (or to a single record),
+    what remains must be byte-identical run-to-run for a fixed workload —
+    the contract the golden regression test pins.
+    """
+    cleaned = {k: v for k, v in data.items() if k not in TIMING_FIELDS}
+    if "points" in cleaned and isinstance(cleaned["points"], list):
+        cleaned["points"] = [
+            strip_timing(point) if isinstance(point, Mapping) else point
+            for point in cleaned["points"]
+        ]
+    return cleaned

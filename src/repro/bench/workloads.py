@@ -1,0 +1,378 @@
+"""Deterministic workload specs for the four hot-path kernels.
+
+Every workload is a pure function of ``(tier, kernel)``: the input world is
+drawn from :func:`repro.sim.rng.derive_rng` with a fixed lineage, and the
+result is reduced to a SHA-256 checksum.  Because the batch kernels are
+byte-equivalent to their scalar references, a workload's checksum is
+*kernel-independent* — which is what lets ``repro bench compare`` treat a
+checksum drift between trajectory points as a broken kernel rather than a
+perf story.
+
+Tiers scale the same world shape: ``smoke`` (CI-fast sanity), ``small``
+(the committed-trajectory default), ``paper`` (the study's full Section V
+scale, 39,824 onions over the 28 Jan – 8 Feb 2013 window).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, NamedTuple, Tuple
+
+from repro.crypto.descriptor_id import (
+    descriptor_index_entries,
+    descriptor_index_entries_batch,
+)
+from repro.crypto.onion import onion_address_from_key
+from repro.crypto.ring import responsible_positions, responsible_positions_batch
+from repro.dirauth.consensus import (
+    ConsensusEntry,
+    apply_per_ip_limit,
+    apply_per_ip_limit_scalar,
+)
+from repro.errors import BenchError
+from repro.hsdir.directory import HSDirServer, RequestRecord
+from repro.popularity.timeseries import (
+    classify_services_by_shape,
+    classify_services_by_shape_scalar,
+    merge_series,
+    merge_series_scalar,
+    series_from_log,
+    series_from_log_scalar,
+)
+from repro.relay.flags import RelayFlags
+from repro.sim.clock import DAY, HOUR, parse_date
+from repro.sim.rng import derive_rng
+
+#: The Section V resolution window: "for each day between 28 January 2013
+#: and 8 February".
+WINDOW_START = parse_date("2013-01-28")
+WINDOW_END = parse_date("2013-02-08")
+
+KERNELS = ("scalar", "batch")
+
+
+class WorkloadResult(NamedTuple):
+    """What one timed run of a workload produces."""
+
+    checksum: str
+    items: int
+    sim_seconds: int = 0
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named, deterministic benchmark workload.
+
+    ``setup(tier)`` builds the input world (untimed); ``run(state, kernel)``
+    executes one of :data:`KERNELS` over it and reduces the output to a
+    :class:`WorkloadResult` whose checksum must not depend on the kernel.
+    """
+
+    name: str
+    hot_path: str
+    tiers: Tuple[str, ...]
+    setup: Callable[[str], Any]
+    run: Callable[[Any, str], WorkloadResult]
+
+
+def _tier_param(name: str, table: Dict[str, Any], tier: str) -> Any:
+    try:
+        return table[tier]
+    except KeyError:
+        raise BenchError(
+            f"workload {name!r} has no tier {tier!r} "
+            f"(available: {', '.join(sorted(table))})"
+        ) from None
+
+
+def _check_kernel(kernel: str) -> None:
+    if kernel not in KERNELS:
+        raise BenchError(
+            f"unknown kernel {kernel!r} (available: {', '.join(KERNELS)})"
+        )
+
+
+# --------------------------------------------------------------------------
+# descriptor_window — Section V index derivation over the date window.
+
+_DESCRIPTOR_ONIONS = {"smoke": 48, "small": 1_500, "paper": 39_824}
+
+
+def _descriptor_setup(tier: str):
+    count = _tier_param("descriptor_window", _DESCRIPTOR_ONIONS, tier)
+    rng = derive_rng(0, "bench", "descriptor_window", tier)
+    return [onion_address_from_key(rng.randbytes(140)) for _ in range(count)]
+
+
+def _descriptor_run(onions, kernel: str) -> WorkloadResult:
+    _check_kernel(kernel)
+    if kernel == "batch":
+        per_onion = descriptor_index_entries_batch(onions, WINDOW_START, WINDOW_END)
+    else:
+        per_onion = [
+            descriptor_index_entries(onion, WINDOW_START, WINDOW_END)
+            for onion in onions
+        ]
+    digest = hashlib.sha256()
+    for entries in per_onion:
+        for desc, period_start in entries:
+            digest.update(desc)
+            digest.update(struct.pack(">q", period_start))
+    return WorkloadResult(
+        checksum=digest.hexdigest(),
+        items=len(onions),
+        sim_seconds=int(WINDOW_END - WINDOW_START),
+    )
+
+
+# --------------------------------------------------------------------------
+# ring_placement — responsible-HSDir lookup for many descriptor IDs.
+
+_RING_SHAPE = {  # (ring members, descriptor-ID queries)
+    "smoke": (32, 128),
+    "small": (1_200, 30_000),
+    "paper": (1_400, 80_000),
+}
+
+
+def _ring_setup(tier: str):
+    members, queries = _tier_param("ring_placement", _RING_SHAPE, tier)
+    rng = derive_rng(0, "bench", "ring_placement", tier)
+    points = sorted(
+        {int.from_bytes(rng.randbytes(20), "big") for _ in range(members)}
+    )
+    descriptor_points = [
+        int.from_bytes(rng.randbytes(20), "big") for _ in range(queries)
+    ]
+    return points, descriptor_points
+
+
+def _ring_run(state, kernel: str) -> WorkloadResult:
+    _check_kernel(kernel)
+    points, descriptor_points = state
+    if kernel == "batch":
+        placements = responsible_positions_batch(descriptor_points, points)
+    else:
+        placements = [
+            responsible_positions(point, points) for point in descriptor_points
+        ]
+    digest = hashlib.sha256()
+    for positions in placements:
+        for position in positions:
+            digest.update(position.to_bytes(20, "big"))
+    return WorkloadResult(
+        checksum=digest.hexdigest(), items=len(descriptor_points)
+    )
+
+
+# --------------------------------------------------------------------------
+# consensus — hourly per-IP admission sweeps.
+
+_CONSENSUS_SHAPE = {  # (hourly snapshots, candidates per snapshot)
+    "smoke": (3, 80),
+    "small": (48, 800),
+    "paper": (264, 1_500),
+}
+
+
+def _consensus_setup(tier: str):
+    hours, per_hour = _tier_param("consensus", _CONSENSUS_SHAPE, tier)
+    rng = derive_rng(0, "bench", "consensus", tier)
+    # A quarter as many IPs as relays forces real per-IP contention — the
+    # regime the two-relays-per-IP rule exists for.
+    ip_pool = [rng.getrandbits(32) for _ in range(max(1, per_hour // 4))]
+    snapshots = []
+    for hour in range(hours):
+        snapshots.append(
+            [
+                ConsensusEntry(
+                    fingerprint=rng.randbytes(20),
+                    nickname=f"relay{hour}x{index}",
+                    ip=rng.choice(ip_pool),
+                    or_port=9001,
+                    bandwidth=rng.randrange(1, 100_000),
+                    flags=RelayFlags.RUNNING | RelayFlags.VALID
+                    | (RelayFlags.HSDIR if rng.random() < 0.5 else RelayFlags.NONE),
+                )
+                for index in range(per_hour)
+            ]
+        )
+    return snapshots
+
+
+def _consensus_run(snapshots, kernel: str) -> WorkloadResult:
+    _check_kernel(kernel)
+    limit_fn = apply_per_ip_limit if kernel == "batch" else apply_per_ip_limit_scalar
+    digest = hashlib.sha256()
+    items = 0
+    for candidates in snapshots:
+        items += len(candidates)
+        for entry in limit_fn(candidates):
+            digest.update(entry.fingerprint)
+    return WorkloadResult(
+        checksum=digest.hexdigest(),
+        items=items,
+        sim_seconds=len(snapshots) * HOUR,
+    )
+
+
+# --------------------------------------------------------------------------
+# timeseries — per-service bucketing, cross-directory merge, shape labels.
+
+_TIMESERIES_SHAPE = {  # (directories, services, requests per service, days)
+    "smoke": (2, 6, 40, 2),
+    "small": (3, 64, 150, 12),
+    "paper": (6, 400, 400, 12),
+}
+
+
+def _timeseries_setup(tier: str):
+    directories, services, per_service, days = _tier_param(
+        "timeseries", _TIMESERIES_SHAPE, tier
+    )
+    rng = derive_rng(0, "bench", "timeseries", tier)
+    start = WINDOW_START
+    end = start + days * DAY
+    servers = [HSDirServer(relay_id=i, keep_log=True) for i in range(directories)]
+    ids_per_service: Dict[str, bytes] = {
+        f"service{index}": rng.randbytes(20) for index in range(services)
+    }
+    for desc in ids_per_service.values():
+        for _ in range(per_service):
+            server = rng.choice(servers)
+            server.request_log.append(
+                RequestRecord(
+                    time=rng.randrange(int(start), int(end)),
+                    descriptor_id=desc,
+                    found=True,
+                )
+            )
+    return servers, ids_per_service, start, end
+
+
+def _timeseries_run(state, kernel: str) -> WorkloadResult:
+    _check_kernel(kernel)
+    servers, ids_per_service, start, end = state
+    if kernel == "batch":
+        from_log, merge, classify = (
+            series_from_log,
+            merge_series,
+            classify_services_by_shape,
+        )
+    else:
+        from_log, merge, classify = (
+            series_from_log_scalar,
+            merge_series_scalar,
+            classify_services_by_shape_scalar,
+        )
+    merged: Dict[str, Any] = {}
+    for service, desc in ids_per_service.items():
+        merged[service] = merge(
+            [
+                from_log(server, start, end, descriptor_ids=[desc])
+                for server in servers
+            ]
+        )
+    labels = classify(merged)
+    digest = hashlib.sha256()
+    items = 0
+    for service, series in merged.items():
+        items += series.total
+        digest.update(service.encode())
+        digest.update(labels[service].encode())
+        for count in series.counts:
+            digest.update(struct.pack(">q", count))
+    return WorkloadResult(
+        checksum=digest.hexdigest(),
+        items=items,
+        sim_seconds=int(end - start),
+    )
+
+
+# --------------------------------------------------------------------------
+# toy — a milliseconds-fast workload for the bench plane's own tests.
+
+_TOY_COUNT = {"smoke": 64, "small": 1_024}
+
+
+def _toy_setup(tier: str):
+    count = _tier_param("toy", _TOY_COUNT, tier)
+    rng = derive_rng(0, "bench", "toy", tier)
+    return [rng.randrange(1 << 30) for _ in range(count)]
+
+
+def _toy_run(values, kernel: str) -> WorkloadResult:
+    _check_kernel(kernel)
+    if kernel == "batch":
+        total = sum(values)
+    else:
+        total = 0
+        for value in values:
+            total += value
+    digest = hashlib.sha256(struct.pack(">q", total))
+    for value in values:
+        digest.update(struct.pack(">q", value))
+    return WorkloadResult(checksum=digest.hexdigest(), items=len(values))
+
+
+WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        Workload(
+            name="descriptor_window",
+            hot_path="repro.crypto.descriptor_id.descriptor_index_entries_batch",
+            tiers=("smoke", "small", "paper"),
+            setup=_descriptor_setup,
+            run=_descriptor_run,
+        ),
+        Workload(
+            name="ring_placement",
+            hot_path="repro.crypto.ring.responsible_positions_batch",
+            tiers=("smoke", "small", "paper"),
+            setup=_ring_setup,
+            run=_ring_run,
+        ),
+        Workload(
+            name="consensus",
+            hot_path="repro.dirauth.consensus.apply_per_ip_limit",
+            tiers=("smoke", "small", "paper"),
+            setup=_consensus_setup,
+            run=_consensus_run,
+        ),
+        Workload(
+            name="timeseries",
+            hot_path="repro.popularity.timeseries.classify_services_by_shape",
+            tiers=("smoke", "small", "paper"),
+            setup=_timeseries_setup,
+            run=_timeseries_run,
+        ),
+        Workload(
+            name="toy",
+            hot_path="repro.bench.workloads._toy_run",
+            tiers=("smoke", "small"),
+            setup=_toy_setup,
+            run=_toy_run,
+        ),
+    )
+}
+
+#: The four kernels the trajectory gate watches (``toy`` is test plumbing).
+HOT_PATH_WORKLOADS = (
+    "descriptor_window",
+    "ring_placement",
+    "consensus",
+    "timeseries",
+)
+
+
+def get_workload(name: str) -> Workload:
+    """The registered workload called ``name``."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown workload {name!r} "
+            f"(available: {', '.join(sorted(WORKLOADS))})"
+        ) from None

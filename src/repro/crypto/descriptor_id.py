@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.crypto.onion import OnionAddress, permanent_id_from_onion
 from repro.errors import CryptoError
@@ -124,3 +124,62 @@ def descriptor_index_entries(
                 )
             )
     return entries
+
+
+def descriptor_index_entries_batch(
+    onions: Sequence[OnionAddress],
+    start: Timestamp,
+    end: Timestamp,
+    cookie: bytes = b"",
+) -> List[List[Tuple[DescriptorId, Timestamp]]]:
+    """Batched :func:`descriptor_index_entries` over many onions in one pass.
+
+    The columnar hot-path kernel behind the Section V resolver index.  The
+    secret-id part ``SHA1(period | cookie | replica)`` does not depend on the
+    onion, and a whole database's rotation offsets spread every onion's
+    periods over a range only one day wider than the window itself — so one
+    shared ``(period, replica) -> secret part`` table serves every onion and
+    halves the SHA-1 count of the scalar per-onion loop.  Per-element output
+    is byte-identical to the scalar reference (the equivalence oracle in
+    ``tests/test_bench_kernels.py`` pins it), so results never depend on how
+    callers batch or shard the database.
+    """
+    if end < start:
+        raise CryptoError(f"window end {end} before start {start}")
+    sha1 = hashlib.sha1
+    pack = struct.pack
+    secret_parts: Dict[Tuple[int, int], bytes] = {}
+    replicas = range(REPLICAS)
+    out: List[List[Tuple[DescriptorId, Timestamp]]] = []
+    for onion in onions:
+        permanent_id = permanent_id_from_onion(onion)
+        offset = (permanent_id[0] * DAY) // 256
+        first = (int(start) + offset) // DAY
+        last = (int(end) + offset) // DAY
+        entries: List[Tuple[DescriptorId, Timestamp]] = []
+        for period in range(first, last + 1):
+            period_start = period * DAY - offset
+            for replica in replicas:
+                key = (period, replica)
+                part = secret_parts.get(key)
+                if part is None:
+                    part = sha1(
+                        pack(">I", period & 0xFFFFFFFF) + cookie + bytes([replica])
+                    ).digest()
+                    secret_parts[key] = part
+                entries.append((sha1(permanent_id + part).digest(), period_start))
+        out.append(entries)
+    return out
+
+
+def descriptor_ids_for_window_batch(
+    onions: Iterable[OnionAddress],
+    start: Timestamp,
+    end: Timestamp,
+    cookie: bytes = b"",
+) -> List[List[DescriptorId]]:
+    """Batched :func:`descriptor_ids_for_window`: one ID list per onion."""
+    return [
+        [entry[0] for entry in entries]
+        for entries in descriptor_index_entries_batch(list(onions), start, end, cookie)
+    ]

@@ -16,14 +16,24 @@ of times smaller.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.keys import Fingerprint, fingerprint_int
 from repro.errors import CryptoError
 
+try:  # numpy powers the batched placement kernel; the scalar path is complete
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
+
 RING_SIZE = 1 << 160  # SHA-1 output space
 
 HSDIRS_PER_REPLICA = 3
+
+#: Ring positions are 160-bit; the vectorised kernel bisects on their top 64
+#: bits (exactly representable as uint64) and refines the rare prefix ties
+#: with exact integer bisect, so the batch result equals the scalar one.
+_PREFIX_SHIFT = 160 - 64
 
 
 def ring_distance(from_point: int, to_point: int) -> int:
@@ -46,6 +56,51 @@ def responsible_positions(
     return [sorted_points[(start + i) % len(sorted_points)] for i in range(take)]
 
 
+def responsible_positions_batch(
+    descriptor_points: Sequence[int],
+    sorted_points: Sequence[int],
+    count: int = HSDIRS_PER_REPLICA,
+) -> List[List[int]]:
+    """Batched :func:`responsible_positions` over many descriptor points.
+
+    The SHA-1 ring-placement hot-path kernel: one vectorised ``searchsorted``
+    over the queries' 64-bit prefixes replaces a Python ``bisect`` per query,
+    and exact integer bisect refines only queries whose prefix collides with
+    a ring member's (vanishingly rare for SHA-1-distributed points, but
+    handled so the kernel is exact, not probabilistic).  Falls back to the
+    scalar loop when numpy is unavailable; either way every element equals
+    ``responsible_positions(point, sorted_points, count)``.
+    """
+    points = list(sorted_points)
+    if not points or not descriptor_points:
+        return [[] for _ in descriptor_points]
+    if _np is None or len(descriptor_points) < 8:
+        return [
+            responsible_positions(point, points, count)
+            for point in descriptor_points
+        ]
+    size = len(points)
+    take = min(count, size)
+    member_prefix = _np.fromiter(
+        (p >> _PREFIX_SHIFT for p in points), dtype=_np.uint64, count=size
+    )
+    query_prefix = _np.fromiter(
+        (q >> _PREFIX_SHIFT for q in descriptor_points),
+        dtype=_np.uint64,
+        count=len(descriptor_points),
+    )
+    low = _np.searchsorted(member_prefix, query_prefix, side="left")
+    high = _np.searchsorted(member_prefix, query_prefix, side="right")
+    results: List[List[int]] = []
+    for query, lo, hi in zip(descriptor_points, low.tolist(), high.tolist()):
+        # Equal-prefix members (the [lo, hi) run) need the exact comparison;
+        # everything below lo is < query and everything at hi and beyond is
+        # greater, so this bisect equals bisect_right over the whole list.
+        start = hi if lo == hi else bisect.bisect_right(points, query, lo, hi)
+        results.append([points[(start + i) % size] for i in range(take)])
+    return results
+
+
 class FingerprintRing:
     """An immutable snapshot of the HSDir ring for one consensus.
 
@@ -55,13 +110,19 @@ class FingerprintRing:
     """
 
     def __init__(self, fingerprints: Sequence[Fingerprint]) -> None:
+        # 20-byte big-endian fingerprints sort identically as bytes and as
+        # 160-bit integers, so deduplicate and order on the raw bytes (one
+        # C-level sort) before paying the int conversion per unique member.
+        unique = sorted(set(fingerprints))
         by_position: Dict[int, Fingerprint] = {}
-        for fp in fingerprints:
+        positions: List[int] = []
+        for fp in unique:
             position = fingerprint_int(fp)
-            if position in by_position and by_position[position] != fp:
+            if positions and positions[-1] == position:
                 raise CryptoError("distinct fingerprints with equal ring position")
+            positions.append(position)
             by_position[position] = fp
-        self._positions: List[int] = sorted(by_position)
+        self._positions = positions
         self._by_position = by_position
 
     def __len__(self) -> int:
@@ -82,6 +143,26 @@ class FingerprintRing:
         point = int.from_bytes(descriptor_id, "big")
         positions = responsible_positions(point, self._positions, count)
         return [self._by_position[p] for p in positions]
+
+    def responsible_for_many(
+        self,
+        descriptor_ids: Sequence[bytes],
+        count: int = HSDIRS_PER_REPLICA,
+    ) -> List[List[Fingerprint]]:
+        """Batched :meth:`responsible_for`: one fingerprint list per ID.
+
+        Element *i* is byte-identical to ``responsible_for(descriptor_ids[i],
+        count)``; the batch only changes throughput (one vectorised bisect
+        over all IDs instead of a Python bisect per ID).
+        """
+        points = [int.from_bytes(desc, "big") for desc in descriptor_ids]
+        by_position = self._by_position
+        return [
+            [by_position[p] for p in positions]
+            for positions in responsible_positions_batch(
+                points, self._positions, count
+            )
+        ]
 
     def distance_to(self, descriptor_id: bytes, fp: Fingerprint) -> int:
         """Clockwise ring distance from ``descriptor_id`` to ``fp``."""

@@ -19,9 +19,12 @@ from repro.devtools.findings import Finding
 from repro.devtools.registry import ProjectRule, register
 
 #: Measurement-side subpackages that the low substrate layers may not import.
+#: ``bench`` sits above even the measurement layers (it drives their
+#: kernels), so a substrate importing it would invert the graph twice over.
 _MEASUREMENT_LAYERS = frozenset(
     {
         "analysis",
+        "bench",
         "classify",
         "client",
         "crawl",

@@ -463,10 +463,12 @@ class ExceptionSwallowRule(AstRule):
 
 
 #: Places allowed ad-hoc output/timing: the observability plane itself,
-#: benchmarks (whose job is timing), the test tree, and runnable examples
-#: (whose job is showing output).
+#: the bench plane (wall-clock timing is its product), benchmarks (whose
+#: job is timing), the test tree, and runnable examples (whose job is
+#: showing output).
 _INSTRUMENTATION_EXEMPT_FRAGMENTS = (
     "repro/obs/",
+    "repro/bench/",
     "benchmarks/",
     "tests/",
     "examples/",
@@ -541,12 +543,14 @@ class AdHocInstrumentationRule(AstRule):
 
 #: Places allowed to write files directly: the serialisation layer, the
 #: artifact store (atomic writes are its job), the metrics exporter, the
-#: lint tooling (baselines), benchmarks, tests and examples.
+#: lint tooling (baselines), the bench plane (BENCH_*.json trajectories
+#: and report views are its artifacts), benchmarks, tests and examples.
 _ARTIFACT_WRITE_EXEMPT_FRAGMENTS = (
     "repro/io",
     "repro/store/",
     "repro/obs/export",
     "repro/devtools/",
+    "repro/bench/",
     "benchmarks/",
     "tests/",
     "examples/",

@@ -12,6 +12,7 @@ their flags.  Two properties drive the study:
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
@@ -111,6 +112,44 @@ def apply_per_ip_limit(
     Groups candidates by IP and keeps the ``limit`` highest-bandwidth relays
     per address (ties broken by fingerprint for determinism), preserving the
     original relative order of the survivors.
+
+    This is the batched consensus-generation kernel: one streaming pass
+    keeping a bounded top-``limit`` bucket per IP replaces a dict of per-IP
+    lists each materialised, sorted, and re-filtered — which is what
+    hourly-sweep workloads (thousands of consensuses over thousands of
+    candidates) spend their time on.  Output is element-identical to
+    :func:`apply_per_ip_limit_scalar`, the retained reference
+    implementation the equivalence tests pin against.
+    """
+    if limit < 1:
+        raise ConsensusError(f"per-IP limit must be positive: {limit}")
+    # One pass, keeping at most ``limit`` (-bandwidth, fingerprint, index)
+    # keys per IP in a tiny always-sorted bucket: O(n·limit) with bare-tuple
+    # C-level comparisons, instead of materialising, fully sorting, and
+    # re-filtering every per-IP group the way the scalar reference does.
+    best: Dict[IPv4, List[Tuple[int, Fingerprint, int]]] = {}
+    for index, entry in enumerate(candidates):
+        key = (-entry.bandwidth, entry.fingerprint, index)
+        bucket = best.get(entry.ip)
+        if bucket is None:
+            best[entry.ip] = [key]
+        elif len(bucket) < limit or key < bucket[-1]:
+            insort(bucket, key)
+            if len(bucket) > limit:
+                bucket.pop()
+    admitted = sorted(
+        index for bucket in best.values() for _, _, index in bucket
+    )
+    return [candidates[index] for index in admitted]
+
+
+def apply_per_ip_limit_scalar(
+    candidates: List[ConsensusEntry], limit: int = MAX_RELAYS_PER_IP
+) -> List[ConsensusEntry]:
+    """Scalar reference for :func:`apply_per_ip_limit` (the original loop).
+
+    Kept as the byte-equivalence oracle: the batched kernel must produce
+    exactly this output for every input, at every worker count.
     """
     if limit < 1:
         raise ConsensusError(f"per-IP limit must be positive: {limit}")

@@ -18,12 +18,15 @@ import functools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.crypto.descriptor_id import DescriptorId, descriptor_index_entries
+from repro.crypto.descriptor_id import (
+    DescriptorId,
+    descriptor_index_entries_batch,
+)
 from repro.crypto.onion import OnionAddress
 from repro.faults.retry import RetryPolicy, fetch_descriptor_with_retry
 from repro.faults.taxonomy import FailureCategory, FailureTaxonomy
 from repro.obs.scope import Observer, ensure_observer
-from repro.parallel import pmap
+from repro.parallel import SHARDS_PER_WORKER, pmap, resolve_workers, shard_bounds
 from repro.sim.clock import DAY, Timestamp
 
 
@@ -116,13 +119,28 @@ class DescriptorResolver:
         self.collisions: Dict[DescriptorId, List[OnionAddress]] = {}
         onions = list(onion_database)
         self.database_size = len(onions)
-        entry_lists = pmap(
-            functools.partial(
-                descriptor_index_entries, start=window_start, end=window_end
-            ),
-            onions,
-            workers=workers,
+        # Fan whole *chunks* of the database through the batched kernel so
+        # each pmap item amortises the shared secret-id-part table and its
+        # pickle round-trip over many onions.  Per-onion output does not
+        # depend on chunking, so the merged index is byte-identical at any
+        # worker count — including against the old per-onion fan-out.
+        chunk_bounds = shard_bounds(
+            len(onions), resolve_workers(workers) * SHARDS_PER_WORKER
         )
+        chunks = [onions[lo:hi] for lo, hi in chunk_bounds]
+        entry_lists = [
+            entries
+            for chunk_entries in pmap(
+                functools.partial(
+                    descriptor_index_entries_batch,
+                    start=window_start,
+                    end=window_end,
+                ),
+                chunks,
+                workers=workers,
+            )
+            for entries in chunk_entries
+        ]
         for onion, entries in zip(onions, entry_lists):
             for desc, period_start in entries:
                 owner = self._index.get(desc)

@@ -1,0 +1,177 @@
+"""`repro bench compare` verdicts and exit codes.
+
+Five paths matter to CI: an improvement and a within-tolerance slowdown
+both pass (exit 0), a slowdown past the threshold and a kernel checksum
+drift both fail as regressions (exit 1), and a missing baseline or a
+schema-version mismatch exit 2 — "not comparable" must never read as
+either green or a code regression.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench import (
+    EXIT_NOT_COMPARABLE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    Trajectory,
+    compare_trajectories,
+    compare_within,
+    trajectory_path,
+    write_trajectory,
+)
+from repro.cli import main
+from tests.test_bench_schema import make_record
+
+
+def trajectory_with(min_seconds, checksum="ab" * 32, items=64, name="toy"):
+    record = make_record(name=name, checksum=checksum, items=items)
+    record = replace(
+        record,
+        wall=replace(
+            record.wall,
+            mean_seconds=min_seconds,
+            min_seconds=min_seconds,
+            max_seconds=min_seconds,
+            per_repeat_seconds=(min_seconds,),
+        ),
+    )
+    return Trajectory(name=name, points=[record])
+
+
+class TestCompareTrajectories:
+    def test_improvement_passes(self):
+        result = compare_trajectories(
+            trajectory_with(1.0), trajectory_with(0.5), threshold_pct=20.0
+        )
+        assert result.exit_code == EXIT_OK
+        assert result.points[0].delta_pct == pytest.approx(-50.0)
+
+    def test_within_tolerance_passes(self):
+        result = compare_trajectories(
+            trajectory_with(1.0), trajectory_with(1.1), threshold_pct=20.0
+        )
+        assert result.exit_code == EXIT_OK
+        assert not result.points[0].regressed
+
+    def test_regression_past_threshold_fails(self):
+        result = compare_trajectories(
+            trajectory_with(1.0), trajectory_with(1.5), threshold_pct=20.0
+        )
+        assert result.exit_code == EXIT_REGRESSION
+        assert result.points[0].regressed
+        assert not result.points[0].checksum_drift
+
+    def test_checksum_drift_fails_even_when_faster(self):
+        result = compare_trajectories(
+            trajectory_with(1.0, checksum="aa" * 32),
+            trajectory_with(0.1, checksum="bb" * 32),
+        )
+        assert result.exit_code == EXIT_REGRESSION
+        assert result.points[0].checksum_drift
+
+    def test_different_workloads_not_comparable(self):
+        result = compare_trajectories(
+            trajectory_with(1.0, name="toy"),
+            trajectory_with(1.0, name="consensus"),
+        )
+        assert result.exit_code == EXIT_NOT_COMPARABLE
+
+    def test_no_overlapping_cells_not_comparable(self):
+        baseline = trajectory_with(1.0)
+        baseline.points[0] = replace(baseline.points[0], tier="paper")
+        result = compare_trajectories(baseline, trajectory_with(1.0))
+        assert result.exit_code == EXIT_NOT_COMPARABLE
+
+    def test_changed_item_count_not_comparable(self):
+        result = compare_trajectories(
+            trajectory_with(1.0, items=64), trajectory_with(1.0, items=128)
+        )
+        assert result.exit_code == EXIT_NOT_COMPARABLE
+        assert any("changed size" in message for message in result.messages)
+
+    def test_latest_cell_run_speaks(self):
+        baseline = trajectory_with(1.0)
+        current = trajectory_with(9.0)
+        current.points.append(trajectory_with(1.05).points[0])  # newest wins
+        assert compare_trajectories(baseline, current).exit_code == EXIT_OK
+
+
+class TestCompareWithin:
+    def test_two_runs_of_one_cell(self):
+        trajectory = trajectory_with(1.0)
+        trajectory.points.append(trajectory_with(2.0).points[0])
+        assert compare_within(trajectory).exit_code == EXIT_REGRESSION
+        trajectory.points[-1] = trajectory_with(1.01).points[0]
+        assert compare_within(trajectory).exit_code == EXIT_OK
+
+    def test_single_run_not_comparable(self):
+        assert compare_within(trajectory_with(1.0)).exit_code == EXIT_NOT_COMPARABLE
+
+    def test_empty_not_comparable(self):
+        assert (
+            compare_within(Trajectory(name="toy")).exit_code == EXIT_NOT_COMPARABLE
+        )
+
+
+class TestCompareCli:
+    def _write(self, directory, trajectory):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = trajectory_path(trajectory.name, directory)
+        write_trajectory(path, trajectory)
+        return path
+
+    def test_ok_exit(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base", trajectory_with(1.0))
+        cur = self._write(tmp_path / "cur", trajectory_with(0.9))
+        assert main(["bench", "compare", str(base), str(cur)]) == EXIT_OK
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exit(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base", trajectory_with(1.0))
+        cur = self._write(tmp_path / "cur", trajectory_with(2.0))
+        assert main(["bench", "compare", str(base), str(cur)]) == EXIT_REGRESSION
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_baseline_exit(self, tmp_path, capsys):
+        cur = self._write(tmp_path / "cur", trajectory_with(1.0))
+        missing = tmp_path / "base" / "BENCH_toy.json"
+        assert (
+            main(["bench", "compare", str(missing), str(cur)])
+            == EXIT_NOT_COMPARABLE
+        )
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_schema_mismatch_exit(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base", trajectory_with(1.0))
+        cur = self._write(tmp_path / "cur", trajectory_with(1.0))
+        data = json.loads(cur.read_text(encoding="utf-8"))
+        data["schema"] = 999
+        cur.write_text(json.dumps(data), encoding="utf-8")
+        assert (
+            main(["bench", "compare", str(base), str(cur)])
+            == EXIT_NOT_COMPARABLE
+        )
+        assert "schema version" in capsys.readouterr().out
+
+    def test_report_only_never_fails(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base", trajectory_with(1.0))
+        cur = self._write(tmp_path / "cur", trajectory_with(5.0))
+        assert (
+            main(["bench", "compare", str(base), str(cur), "--report-only"])
+            == EXIT_OK
+        )
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "report-only" in out
+
+    def test_directory_mode(self, tmp_path):
+        base_dir, cur_dir = tmp_path / "base", tmp_path / "cur"
+        base_dir.mkdir()
+        cur_dir.mkdir()
+        self._write(base_dir, trajectory_with(1.0, name="toy"))
+        self._write(cur_dir, trajectory_with(1.05, name="toy"))
+        assert (
+            main(["bench", "compare", str(base_dir), str(cur_dir)]) == EXIT_OK
+        )

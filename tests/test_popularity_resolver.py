@@ -47,13 +47,16 @@ class TestIndexConstruction:
         onions = make_onions(3)
         clash = b"\xaa" * 20
 
-        def colliding_entries(onion, start, end, cookie=b""):
+        def colliding_entries(batch, start, end, cookie=b""):
             # Every onion claims the same 20-byte ID (a forged database
             # would look exactly like this); only distinct IDs vary.
-            return [(clash, JAN28), (bytes([onions.index(onion)]) * 20, JAN28)]
+            return [
+                [(clash, JAN28), (bytes([onions.index(onion)]) * 20, JAN28)]
+                for onion in batch
+            ]
 
         monkeypatch.setattr(
-            "repro.popularity.resolver.descriptor_index_entries",
+            "repro.popularity.resolver.descriptor_index_entries_batch",
             colliding_entries,
         )
         resolver = DescriptorResolver(onions, JAN28, FEB8)
@@ -67,13 +70,15 @@ class TestIndexConstruction:
     def test_same_onion_replica_overlap_is_not_a_collision(self, monkeypatch):
         onions = make_onions(1)
 
-        def duplicate_entries(onion, start, end, cookie=b""):
+        def duplicate_entries(batch, start, end, cookie=b""):
             # Both replicas of one onion landing on the same ID is merely
             # redundant, not a cross-service collision.
-            return [(b"\xbb" * 20, JAN28), (b"\xbb" * 20, JAN28)]
+            return [
+                [(b"\xbb" * 20, JAN28), (b"\xbb" * 20, JAN28)] for _ in batch
+            ]
 
         monkeypatch.setattr(
-            "repro.popularity.resolver.descriptor_index_entries",
+            "repro.popularity.resolver.descriptor_index_entries_batch",
             duplicate_entries,
         )
         resolver = DescriptorResolver(onions, JAN28, FEB8)
