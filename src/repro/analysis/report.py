@@ -56,6 +56,23 @@ class ExperimentReport:
         for label, count in taxonomy.rows():
             self.add(f"{prefix}{label}", None, count)
 
+    def add_completeness(self, manifest) -> None:
+        """Render a supervision completeness manifest into this report.
+
+        ``manifest`` is any object with ``summary_lines() -> [str]`` and a
+        ``complete`` flag — in practice
+        :class:`repro.supervise.manifest.CompletenessManifest`.  A complete
+        run adds a single confirming note; a degraded or partial one spells
+        out exactly what is missing so the numbers above it are read with
+        the right amount of trust.
+        """
+        if manifest.complete:
+            self.note("supervision: run complete (no degradation)")
+            return
+        self.note("supervision: PARTIAL RESULT")
+        for line in manifest.summary_lines():
+            self.note(f"supervision: {line}")
+
     def max_error(self) -> float:
         """Worst relative error across rows that have a paper value."""
         errors = [row.error for row in self.rows if row.error is not None]

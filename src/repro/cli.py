@@ -16,6 +16,7 @@
     python -m repro store ls --store .repro-store
     python -m repro bench run --tier smoke --out /tmp/bench
     python -m repro bench compare baseline/ . --threshold 20
+    python -m repro crashtest --scale 0.02 --crash-profile moderate
 
 ``--json PATH`` archives the paper-vs-measured report via :mod:`repro.io`.
 ``--metrics-out PATH`` (or ``$REPRO_METRICS``) additionally archives the
@@ -256,7 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="check determinism & convention rules (REP001-REP013)",
+        help="check determinism & convention rules (REP001-REP014)",
         description=(
             "Static analysis over the given paths: seeded-RNG discipline, "
             "sim-clock usage, the repro.errors hierarchy, stable set "
@@ -265,8 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
             "artifact-write containment (use repro.io/repro.store, not "
             "raw open/json.dump), plus the whole-program analyses: RNG "
             "stream-label lineage (REP011), stage code-fingerprint "
-            "coverage (REP012), and pmap shard safety (REP013). Exits 1 "
-            "when findings remain."
+            "coverage (REP012), pmap shard safety (REP013), and "
+            "supervision containment (REP014: teardown interception is "
+            "repro.supervise's alone). Exits 1 when findings remain."
         ),
     )
     lint.add_argument(
@@ -380,6 +382,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-only",
         action="store_true",
         help="print verdicts but always exit 0 (CI advisory mode)",
+    )
+
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="prove crash-resume equivalence under an injected crash schedule",
+        description=(
+            "Runs the scan->certificates->crawl->classify campaign under "
+            "the EpochSupervisor with deterministic process-death injection "
+            "(repro.supervise), resuming each restart through store "
+            "checkpoints, then runs the same campaign cold with no store "
+            "and no crashes, and asserts the fig1/table1/fig2 reports are "
+            "byte-identical.  Exits 1 on any byte difference, a degraded "
+            "run, or fewer than --min-crashes injected deaths."
+        ),
+    )
+    _add_common(crashtest, scale_default=0.02)
+    _add_fault_profile(crashtest)
+    _add_metrics_out(crashtest)
+    crashtest.add_argument(
+        "--crash-profile",
+        default=None,
+        metavar="NAME",
+        help=(
+            "crash schedule: none, light, moderate, heavy, or an explicit "
+            "label@visit,label@visit schedule (default: $REPRO_CRASHES, "
+            "then moderate)"
+        ),
+    )
+    crashtest.add_argument(
+        "--store",
+        default=".repro-crashtest-store",
+        metavar="DIR",
+        help=(
+            "scratch checkpoint store for the supervised run; wiped at the "
+            "start of every invocation so each crashtest starts cold"
+        ),
+    )
+    crashtest.add_argument(
+        "--clean-json",
+        default=None,
+        metavar="PATH",
+        help="archive the clean cold run's combined report document here",
+    )
+    crashtest.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help="archive the run's completeness manifest here",
+    )
+    crashtest.add_argument(
+        "--min-crashes",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "require at least N injected crashes, at N distinct crash "
+            "points, for the test to count (default: 5)"
+        ),
     )
 
     return parser
@@ -838,6 +898,145 @@ def _bench_compare(args) -> int:
     return worst
 
 
+def _campaign_document(pipeline) -> dict:
+    """The fig1/table1/fig2 reports of a completed pipeline, as one dict.
+
+    Every stage is already computed (or supervised to completion), so the
+    experiment runners only read; this is the document the crashtest
+    byte-compares between the crashed-and-resumed run and the clean one.
+    """
+    from repro.experiments import run_fig1, run_fig2, run_table1
+
+    return {
+        "fig1": repro_io.report_to_dict(run_fig1(pipeline=pipeline).report),
+        "table1": repro_io.report_to_dict(run_table1(pipeline=pipeline).report),
+        "fig2": repro_io.report_to_dict(run_fig2(pipeline=pipeline).report),
+    }
+
+
+def _run_crashtest(args) -> int:
+    import json
+    import pathlib
+    import shutil
+
+    from repro.experiments.pipeline import MeasurementPipeline
+    from repro.obs.scope import Observer
+    from repro.store import ArtifactStore
+    from repro.supervise import (
+        CRASHES_ENV,
+        PIPELINE_STAGES,
+        EpochSupervisor,
+        build_crash_plan,
+    )
+
+    # --crash-profile, then $REPRO_CRASHES, then moderate: an inert plan
+    # would make the whole exercise vacuous, so the fallback injects.
+    spec = args.crash_profile or os.environ.get(CRASHES_ENV, "").strip() or "moderate"
+    plan = build_crash_plan(spec, seed=args.seed)
+
+    store_root = pathlib.Path(args.store)
+    if store_root.exists():
+        # The scratch store is this command's own working directory (see
+        # --store help); a stale warm store would replay every stage and
+        # dodge the commit-point crashes the test exists to inject.
+        shutil.rmtree(store_root)
+
+    supervisor_observer = Observer(name="crashtest")
+    supervisor = EpochSupervisor(plan, observer=supervisor_observer)
+
+    def factory(crash_points, quarantine):
+        # A fresh pipeline AND a fresh store handle per incarnation — a
+        # real crash loses all process state; only the store directory
+        # survives, exactly as here.
+        return MeasurementPipeline(
+            seed=args.seed,
+            scale=args.scale,
+            workers=args.workers,
+            fault_profile=args.fault_profile,
+            store=ArtifactStore(store_root),
+            crash_point=crash_points,
+            quarantine=quarantine,
+        )
+
+    outcome = supervisor.run(factory, stages=PIPELINE_STAGES)
+    manifest = outcome.manifest
+
+    failures: List[str] = []
+    crash_count = outcome.crash_points.crash_count
+    distinct = outcome.crash_points.distinct_points()
+    if crash_count < args.min_crashes:
+        failures.append(
+            f"only {crash_count} crash(es) fired, need >= {args.min_crashes}"
+        )
+    if len(distinct) < args.min_crashes:
+        failures.append(
+            f"only {len(distinct)} distinct crash point(s) hit "
+            f"({', '.join(distinct)}), need >= {args.min_crashes}"
+        )
+
+    crashed_doc = None
+    equal = False
+    if manifest.complete:
+        crashed_doc = _campaign_document(outcome.pipeline)
+        clean_pipeline = MeasurementPipeline(
+            seed=args.seed,
+            scale=args.scale,
+            workers=args.workers,
+            fault_profile=args.fault_profile,
+        )
+        for stage in PIPELINE_STAGES:
+            getattr(clean_pipeline, stage)()
+        clean_doc = _campaign_document(clean_pipeline)
+        crashed_text = json.dumps(crashed_doc, indent=2, sort_keys=True)
+        clean_text = json.dumps(clean_doc, indent=2, sort_keys=True)
+        equal = crashed_text == clean_text
+        if not equal:
+            failures.append(
+                "crashed-and-resumed reports are NOT byte-identical to the "
+                "clean cold run"
+            )
+        if args.json:
+            repro_io.save_json(crashed_doc, args.json)
+            print(f"[supervised-run reports archived to {args.json}]")
+        if args.clean_json:
+            repro_io.save_json(clean_doc, args.clean_json)
+            print(f"[clean-run reports archived to {args.clean_json}]")
+    else:
+        failures.append(
+            "supervised run did not complete: " + "; ".join(manifest.summary_lines())
+        )
+
+    if args.manifest_out:
+        repro_io.save_json(manifest.to_dict(), args.manifest_out)
+        print(f"[completeness manifest archived to {args.manifest_out}]")
+
+    summary = ExperimentReport(experiment="crashtest")
+    summary.add("crashes injected", None, crash_count)
+    summary.add("distinct crash points", None, len(distinct))
+    summary.add("restarts used", None, manifest.restarts_used)
+    summary.add("backoff sim-seconds", None, manifest.backoff_sim_seconds)
+    summary.add("stages complete", None, len(manifest.completed_stages()))
+    summary.add("reports byte-identical", None, int(equal))
+    summary.note(
+        f"crash plan '{plan.name}': "
+        + (", ".join(f"{r.point}@{r.visit}" for r in plan.rules) or "(inert)")
+    )
+    if distinct:
+        summary.note("crash points hit: " + ", ".join(distinct))
+    summary.add_completeness(manifest)
+    _emit(summary)
+    _write_metrics(supervisor_observer, args)
+
+    for failure in failures:
+        print(f"crashtest: FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"crashtest: OK — survived {crash_count} crash(es) at "
+            f"{len(distinct)} distinct point(s); reports byte-identical"
+        )
+    return 1 if failures else 0
+
+
 def _run_bench(args) -> int:
     from repro.errors import BenchError
 
@@ -865,6 +1064,7 @@ _RUNNERS = {
     "store": _run_store,
     "lint": _run_lint,
     "bench": _run_bench,
+    "crashtest": _run_crashtest,
 }
 
 

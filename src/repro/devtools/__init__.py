@@ -12,7 +12,8 @@ code it caches — so the conventions are machine-enforced:
   import graphs, a conservative call graph, constant folding, and
   parameter-binding resolution, built once per lint run;
 * :mod:`repro.devtools.rules` — per-file AST rules REP001–REP005, REP007
-  (raw concurrency), REP008 (exception swallowing), REP009 and REP010;
+  (raw concurrency), REP008 (exception swallowing), REP009, REP010, and
+  REP014 (teardown interception outside ``repro.supervise``);
 * :mod:`repro.devtools.layering` — import-graph rule REP006;
 * :mod:`repro.devtools.rng_lineage` — whole-program rule REP011: RNG
   stream-label collisions and escaping RNG objects;

@@ -41,8 +41,10 @@ _STAGE_TARGETS = frozenset(
 
 #: Second-level subpackages exempt from fingerprint coverage: they carry
 #: artifacts and telemetry but never shape artifact *content*, so hashing
-#: them would churn every cache key on infra-only changes.
-EXEMPT_LAYERS = frozenset({"cli", "devtools", "errors", "obs", "store"})
+#: them would churn every cache key on infra-only changes.  ``supervise``
+#: qualifies by the crashtest invariant itself: a crashed-and-resumed run
+#: is byte-identical to a clean one, so supervision can never shape bytes.
+EXEMPT_LAYERS = frozenset({"cli", "devtools", "errors", "obs", "store", "supervise"})
 
 #: How many missing modules a finding message names before eliding.
 _MESSAGE_CAP = 5

@@ -54,6 +54,10 @@ FORBIDDEN_IMPORTS: Dict[str, frozenset] = {
     # payload-agnostic: stages hand it encode/decode callables, so it
     # never needs (and must never take) a measurement-layer import.
     "store": _MEASUREMENT_LAYERS,
+    # The supervision plane restarts pipelines it is handed as opaque
+    # factories; lower layers receive its crash hook as a plain callable.
+    # Neither direction justifies a measurement import.
+    "supervise": _MEASUREMENT_LAYERS,
 }
 
 

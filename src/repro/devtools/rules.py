@@ -1,4 +1,4 @@
-"""Per-file AST rules REP001–REP005, REP007, REP008, REP009 and REP010.
+"""Per-file AST rules REP001–REP005, REP007–REP010 and REP014.
 
 Each rule walks the file's AST and yields :class:`Finding` objects.  The
 rules are deliberately syntactic — no type inference — so every pattern
@@ -656,3 +656,118 @@ class ArtifactWriteRule(AstRule):
                         "serialise through repro.io (save_json) or "
                         "checkpoint through repro.store",
                     )
+
+
+#: The supervision plane is the one place allowed to intercept process
+#: teardown: it alone may catch SimulatedCrashError (a BaseException
+#: modelling SIGKILL) so crash-resume stays a single, auditable code path.
+#: Tests and examples exercise teardown on purpose.
+_SUPERVISION_EXEMPT_FRAGMENTS = (
+    "repro/supervise/",
+    "tests/",
+    "examples/",
+)
+
+#: Exception names whose interception outside the supervision plane breaks
+#: crash containment: a handler catching any of these would absorb a
+#: simulated (or real) process death mid-layer, so the crashtest invariant
+#: — resumed run byte-identical to a clean run — could no longer be argued
+#: from the supervisor alone.
+_TEARDOWN_NAMES = frozenset(
+    {"BaseException", "KeyboardInterrupt", "SystemExit", "SimulatedCrashError"}
+)
+
+#: ``signal`` module entry points that install process-wide handlers.
+_SIGNAL_INSTALLERS = frozenset(
+    {"signal", "setitimer", "siginterrupt", "set_wakeup_fd"}
+)
+
+
+@register
+class SupervisionContainmentRule(AstRule):
+    """REP014: teardown interception outside the supervision plane.
+
+    Crash-safety rests on one invariant: process death — real or the
+    simulated :class:`repro.errors.SimulatedCrashError` — propagates
+    untouched from wherever it strikes up to :mod:`repro.supervise`,
+    which alone restarts, budgets, and accounts for it.  A handler
+    anywhere else catching ``BaseException``, ``KeyboardInterrupt``,
+    ``SystemExit`` or ``SimulatedCrashError`` (or a bare ``except``, or a
+    process-wide ``signal.signal(...)`` install) would absorb the death
+    mid-layer and leave the run in a state no restart policy reasons
+    about.  Catch :class:`repro.errors.ReproError` subclasses for real
+    failures; leave teardown to the supervisor.
+    """
+
+    id = "REP014"
+    summary = "teardown interception outside repro.supervise"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not any(
+            fragment in ctx.path for fragment in _SUPERVISION_EXEMPT_FRAGMENTS
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        signal_aliases = {
+            name.asname or name.name
+            for node in ctx.nodes
+            if isinstance(node, ast.ImportFrom) and node.module == "signal"
+            for name in node.names
+            if name.name in _SIGNAL_INSTALLERS
+        }
+        for node in ctx.nodes:
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_signal_install(ctx, node, signal_aliases)
+
+    def _check_handler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield _finding(
+                self,
+                ctx,
+                node,
+                "bare except intercepts process teardown "
+                "(KeyboardInterrupt, SystemExit, SimulatedCrashError); "
+                "only repro.supervise may contain a crash — name a "
+                "repro.errors exception type",
+            )
+            return
+        caught = set(_caught_names(node)) & _TEARDOWN_NAMES
+        if caught:
+            names = ", ".join(sorted(caught))
+            yield _finding(
+                self,
+                ctx,
+                node,
+                f"except {names} intercepts process teardown outside the "
+                "supervision plane; crash containment belongs to "
+                "repro.supervise alone — catch a repro.errors subclass "
+                "or let it propagate",
+            )
+
+    def _check_signal_install(
+        self, ctx: FileContext, node: ast.Call, signal_aliases: set
+    ) -> Iterator[Finding]:
+        func = node.func
+        installed = ""
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SIGNAL_INSTALLERS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "signal"
+        ):
+            installed = f"signal.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in signal_aliases:
+            installed = func.id
+        if installed:
+            yield _finding(
+                self,
+                ctx,
+                node,
+                f"{installed}(...) installs a process-wide signal handler "
+                "outside the supervision plane; handler installs belong "
+                "to repro.supervise so teardown has a single owner",
+            )

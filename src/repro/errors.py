@@ -102,3 +102,30 @@ class BenchSchemaError(BenchError):
 
 class BenchRegressionError(BenchError):
     """A tagged hot path regressed past the configured threshold."""
+
+
+class SupervisionError(ReproError):
+    """A crash plan, restart policy, or deadline budget is invalid."""
+
+
+class SimulatedCrashError(BaseException):
+    """An injected process death (crash-point testing, repro.supervise).
+
+    Deliberately **not** a :class:`ReproError`: a real crash (SIGKILL, OOM,
+    power loss) cannot be caught by ordinary error handling, so the
+    simulated one must sail past every ``except ReproError`` / ``except
+    Exception`` in the tree exactly the way the real thing would.  Only the
+    supervision plane (``repro.supervise``) may catch it — rule REP014 of
+    ``repro lint`` enforces that.
+    """
+
+    def __init__(self, point: str = "", visit: int = 0):
+        super().__init__(
+            f"simulated crash at point {point!r} (visit {visit})"
+            if point
+            else "simulated crash"
+        )
+        #: The crash-point label where the injected death fired.
+        self.point = point
+        #: The 1-based visit count at which the rule fired.
+        self.visit = visit

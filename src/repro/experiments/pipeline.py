@@ -30,7 +30,7 @@ from repro.faults import (
 )
 from repro.net.transport import TorTransport
 from repro.obs.scope import Observer, ensure_observer
-from repro.parallel import pmap, resolve_workers
+from repro.parallel import QUARANTINED, ShardQuarantine, pmap, resolve_workers
 from repro.population import GeneratedPopulation, generate_population
 from repro.population.spec import PORT_SKYNET
 from repro.scan import (
@@ -205,8 +205,19 @@ class MeasurementPipeline:
         fault_plan: Optional[FaultPlan] = None,
         observer: Optional[Observer] = None,
         store: Optional[ArtifactStore] = None,
+        crash_point: Optional[Callable[[str], None]] = None,
+        quarantine: Optional[ShardQuarantine] = None,
     ) -> None:
         self.seed = seed
+        #: Supervision hooks (repro.supervise threads these in; the
+        #: pipeline never imports that package).  ``crash_point`` is hit
+        #: at every stage boundary, classify shard, and store commit;
+        #: ``quarantine`` isolates poisoned classify items.  Neither is
+        #: part of any cache key: supervision must never shape artifact
+        #: bytes — a crashed-and-resumed run stays byte-identical to a
+        #: clean one.
+        self.crash_point = crash_point
+        self.quarantine = quarantine
         #: The campaign's observability scope: every stage, the transport,
         #: the fault wrapper and the retry layer record into it.  Explicit
         #: (not global) so two pipelines never share metric state.
@@ -254,6 +265,8 @@ class MeasurementPipeline:
             # Adopt the campaign observer so hit/miss/byte counters land in
             # the same snapshot as the stages they describe.
             store.observer = self.observer
+        if store is not None and crash_point is not None:
+            store.crash_point = crash_point
         self._scan: Optional[ScanResults] = None
         self._certs: Optional[CertificateAnalysis] = None
         self._crawl: Optional[CrawlResults] = None
@@ -293,17 +306,30 @@ class MeasurementPipeline:
         compute: Callable[[], Any],
         upstream: Tuple[str, ...] = (),
     ) -> Any:
-        """Run one stage, through the store's checkpoint when configured."""
+        """Run one stage, through the store's checkpoint when configured.
+
+        The stage-boundary crash points bracket the checkpointed body:
+        ``stage:<name>:enter`` fires before anything runs (a death there
+        costs nothing — no commit happened), ``stage:<name>:exit`` fires
+        after the commit (a death there costs nothing either — the next
+        incarnation replays the stage as a cache hit).
+        """
+        if self.crash_point is not None:
+            self.crash_point(f"stage:{name}:enter")
         if self.store is None:
-            return compute()
-        stage = Stage(name=name, modules=modules, encode=encode, decode=decode)
-        return self.store.run(
-            stage,
-            self._store_config(),
-            compute,
-            cursor=_TransportCursor(self.transport),
-            upstream=upstream,
-        )
+            result = compute()
+        else:
+            stage = Stage(name=name, modules=modules, encode=encode, decode=decode)
+            result = self.store.run(
+                stage,
+                self._store_config(),
+                compute,
+                cursor=_TransportCursor(self.transport),
+                upstream=upstream,
+            )
+        if self.crash_point is not None:
+            self.crash_point(f"stage:{name}:exit")
+        return result
 
     # -- stages ---------------------------------------------------------- #
 
@@ -426,8 +452,17 @@ class MeasurementPipeline:
                 pages,
                 workers=self.workers,
                 observer=self.observer,
+                quarantine=self.quarantine,
+                crash_point=self.crash_point,
             )
-        for page, (language, is_default, topic) in zip(pages, assignments):
+        for page, assignment in zip(pages, assignments):
+            if assignment is QUARANTINED:
+                # A poisoned page was isolated instead of killing the run;
+                # the outcome degrades by exactly that page and the
+                # CompletenessManifest reports it.
+                self.observer.count("classify_pages_quarantined_total")
+                continue
+            language, is_default, topic = assignment
             outcome.classified_pages += 1
             outcome.page_languages[page.destination] = language
             outcome.language_counts[language] = (

@@ -6,8 +6,11 @@ out of the rest of the tree.
 """
 
 from repro.parallel.executor import (
+    PMAP_SHARD_POINT,
+    QUARANTINED,
     SHARDS_PER_WORKER,
     WORKERS_ENV,
+    ShardQuarantine,
     item_rng,
     pmap,
     resolve_workers,
@@ -15,8 +18,11 @@ from repro.parallel.executor import (
 )
 
 __all__ = [
+    "PMAP_SHARD_POINT",
+    "QUARANTINED",
     "SHARDS_PER_WORKER",
     "WORKERS_ENV",
+    "ShardQuarantine",
     "item_rng",
     "pmap",
     "resolve_workers",

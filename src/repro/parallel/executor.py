@@ -26,6 +26,18 @@ Three execution modes, chosen automatically:
 This module is the only place allowed to touch ``concurrent.futures`` /
 ``multiprocessing`` directly; rule REP007 of ``repro lint`` rejects raw
 use anywhere else.
+
+Two robustness hooks ride on the shard structure (both used by
+``repro.supervise``, neither imported from it):
+
+- **Poison-shard quarantine.**  With a :class:`ShardQuarantine`, a shard
+  whose items raise is retried, then re-run item-by-item in the parent;
+  only the individually-failing items are quarantined (replaced by the
+  :data:`QUARANTINED` sentinel and reported), so the quarantined set is a
+  function of the *items*, never of shard boundaries or worker count.
+- **Crash points.**  An optional ``crash_point`` callable is hit once per
+  shard, in shard order, in the parent process — the supervision plane's
+  deterministic process-death injector threads through here.
 """
 
 from __future__ import annotations
@@ -34,7 +46,7 @@ import os
 import pickle
 import random
 from concurrent import futures
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import ParallelError
 from repro.obs.scope import Observer
@@ -53,6 +65,84 @@ SHARDS_PER_WORKER = 4
 #: Set in pool workers (via initializer) so nested ``pmap`` calls inside a
 #: worker degrade to in-process execution instead of forking grandchildren.
 _IN_WORKER = False
+
+#: The crash-point label ``pmap`` hits once per shard (parent process,
+#: shard order).  Spelled here — not imported from ``repro.supervise`` —
+#: so the dependency points strictly upward.
+PMAP_SHARD_POINT = "pmap:shard"
+
+
+class _QuarantinedSentinel:
+    """The placeholder a quarantined item leaves in the result list."""
+
+    def __repr__(self) -> str:
+        return "QUARANTINED"
+
+
+#: Singleton marking a quarantined item's slot; compare with ``is``.
+#: Quarantine isolation always runs in the parent process, so identity
+#: checks never cross a pickle boundary.
+QUARANTINED: Any = _QuarantinedSentinel()
+
+
+class ShardQuarantine:
+    """Isolation record for items that fail repeatedly under ``pmap``.
+
+    A failing shard is retried up to ``max_attempts`` times (the whole
+    shard — cheap, and rescues genuinely transient faults), then re-run
+    item-by-item in the parent: items that still raise are *quarantined* —
+    their slot in the result list becomes :data:`QUARANTINED` and a report
+    (seed-path, global index, error) is recorded here — instead of
+    aborting the run.  Because isolation is per item, the quarantined set
+    is identical at every worker count.
+
+    One instance may span several ``pmap`` calls and several supervised
+    restarts; reports are deduplicated on (seed-path, index) so a
+    restarted stage does not double-report its poison.
+    """
+
+    def __init__(self, max_attempts: int = 2) -> None:
+        if max_attempts < 1:
+            raise ParallelError(
+                f"quarantine max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.max_attempts = max_attempts
+        self._seen: set = set()
+        self._reports: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def record(
+        self, seed_path: Sequence[str], index: int, error: Exception
+    ) -> bool:
+        """Record one quarantined item; False if already recorded."""
+        path = "/".join(seed_path)
+        key = (path, index)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._reports.append(
+            {
+                "path": path,
+                "index": index,
+                "error": f"{type(error).__name__}: {error}",
+            }
+        )
+        return True
+
+    def reports(self) -> List[Dict[str, Any]]:
+        """Quarantined-item reports, in quarantine order."""
+        return list(self._reports)
+
+    def indices(self, seed_path: Sequence[str] = ()) -> List[int]:
+        """Global indices quarantined under ``seed_path``."""
+        path = "/".join(str(element) for element in seed_path)
+        return [
+            report["index"]
+            for report in self._reports
+            if report["path"] == path
+        ]
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -152,6 +242,65 @@ def _is_picklable(obj: object) -> bool:
     return True
 
 
+def _run_shard_quarantined(
+    fn: Callable,
+    shard_items: List[T],
+    start: int,
+    seed: Optional[int],
+    seed_path: Tuple[str, ...],
+    observed: bool,
+    quarantine: ShardQuarantine,
+) -> "List[R] | Tuple[List[R], Observer]":
+    """Run one shard under quarantine, in the parent process.
+
+    Whole-shard attempts first (a transient fault heals here); if the
+    shard keeps failing, fall back to per-item isolation so only the
+    genuinely poisonous items are quarantined.  Metrics from failed
+    whole-shard attempts are discarded with their observer, so the merged
+    snapshot stays worker-count-invariant: every surviving item records
+    exactly once.
+    """
+    for _ in range(quarantine.max_attempts):
+        try:
+            return _run_shard(
+                fn, shard_items, start, seed, seed_path, observed=observed
+            )
+        except Exception:
+            continue
+    shard_observer = Observer(name=f"shard@{start}") if observed else None
+    results: List[R] = []
+    for offset, item in enumerate(shard_items):
+        index = start + offset
+        args: List[Any] = [item]
+        if seed is not None:
+            args.append(item_rng(seed, seed_path, index))
+        if shard_observer is not None:
+            args.append(shard_observer)
+        try:
+            results.append(fn(*args))
+        except Exception as exc:
+            quarantine.record(seed_path, index, exc)
+            if shard_observer is not None:
+                shard_observer.count("pmap_items_quarantined_total")
+            results.append(QUARANTINED)
+    if shard_observer is not None:
+        return results, shard_observer
+    return results
+
+
+def _merge_shard_result(
+    shard_result: "List[R] | Tuple[List[R], Observer]",
+    merged: List[R],
+    observer: Optional[Observer],
+) -> None:
+    if observer is None:
+        merged.extend(shard_result)
+    else:
+        results, shard_observer = shard_result
+        merged.extend(results)
+        observer.absorb(shard_observer)
+
+
 def _run_serial(
     fn: Callable,
     item_list: List[T],
@@ -159,19 +308,33 @@ def _run_serial(
     seed: Optional[int],
     seed_path: Tuple[str, ...],
     observer: Optional[Observer] = None,
+    quarantine: Optional[ShardQuarantine] = None,
+    crash_point: Optional[Callable[[str], None]] = None,
 ) -> List[R]:
     merged: List[R] = []
     for start, stop in bounds:
-        if observer is None:
-            merged.extend(
-                _run_shard(fn, item_list[start:stop], start, seed, seed_path)
+        if crash_point is not None:
+            crash_point(PMAP_SHARD_POINT)
+        if quarantine is not None:
+            shard_result = _run_shard_quarantined(
+                fn,
+                item_list[start:stop],
+                start,
+                seed,
+                seed_path,
+                observer is not None,
+                quarantine,
             )
         else:
-            results, shard_observer = _run_shard(
-                fn, item_list[start:stop], start, seed, seed_path, observed=True
+            shard_result = _run_shard(
+                fn,
+                item_list[start:stop],
+                start,
+                seed,
+                seed_path,
+                observed=observer is not None,
             )
-            merged.extend(results)
-            observer.absorb(shard_observer)
+        _merge_shard_result(shard_result, merged, observer)
     return merged
 
 
@@ -184,6 +347,8 @@ def pmap(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     observer: Optional[Observer] = None,
+    quarantine: Optional[ShardQuarantine] = None,
+    crash_point: Optional[Callable[[str], None]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items`` deterministically, optionally in parallel.
 
@@ -197,6 +362,17 @@ def pmap(
     observers are absorbed back into ``observer`` in shard order, so as
     long as ``fn`` records only additive metrics (counters, histograms)
     and events, the merged snapshot is byte-identical at any worker count.
+
+    With a ``quarantine``, an item whose shard keeps failing is isolated
+    per :class:`ShardQuarantine` — its result slot becomes
+    :data:`QUARANTINED` instead of the exception aborting the run.  A
+    ``crash_point`` callable is hit once per shard in shard order (parent
+    process); whatever it raises propagates untouched.
+
+    A broken process pool (a worker died) never propagates: the affected
+    shard re-runs serially in the parent — per-item work is independent
+    by contract, so the rerun is equivalent — counted once per ``pmap``
+    call as ``pmap_pool_broken_total``.
 
     ``fn`` must be independent across items (no item may read another's
     output).  A ``fn`` that needs shared mutable in-process state should
@@ -213,11 +389,35 @@ def pmap(
     if observer is not None and not observer.enabled:
         observer = None
     if worker_count == 1 or _IN_WORKER or len(bounds) == 1 or not _is_picklable(fn):
-        return _run_serial(fn, item_list, bounds, seed, path, observer)
-    try:
-        with futures.ProcessPoolExecutor(
-            max_workers=min(worker_count, len(bounds)), initializer=_mark_worker
-        ) as pool:
+        return _run_serial(
+            fn, item_list, bounds, seed, path, observer, quarantine, crash_point
+        )
+
+    def rescue_shard(start: int, stop: int):
+        """Re-run one shard in the parent (pool broke or results won't pickle)."""
+        if quarantine is not None:
+            return _run_shard_quarantined(
+                fn,
+                item_list[start:stop],
+                start,
+                seed,
+                path,
+                observer is not None,
+                quarantine,
+            )
+        return _run_shard(
+            fn,
+            item_list[start:stop],
+            start,
+            seed,
+            path,
+            observed=observer is not None,
+        )
+
+    with futures.ProcessPoolExecutor(
+        max_workers=min(worker_count, len(bounds)), initializer=_mark_worker
+    ) as pool:
+        try:
             pending = [
                 pool.submit(
                     _run_shard,
@@ -230,20 +430,40 @@ def pmap(
                 )
                 for start, stop in bounds
             ]
-            merged: List[R] = []
-            shard_observers: List[Observer] = []
-            # Merge in shard-submission order; completion order is irrelevant.
-            for future in pending:
-                if observer is None:
-                    merged.extend(future.result())
-                else:
-                    results, shard_observer = future.result()
-                    merged.extend(results)
-                    shard_observers.append(shard_observer)
-            for shard_observer in shard_observers:
-                observer.absorb(shard_observer)
-            return merged
-    except (pickle.PicklingError, TypeError, AttributeError, futures.BrokenExecutor):
-        # Unpicklable items/results, or a broken pool: per-item work is
-        # independent by contract, so rerunning in-process is equivalent.
-        return _run_serial(fn, item_list, bounds, seed, path, observer)
+        except futures.BrokenExecutor:
+            # The pool died before any work was merged (no crash point has
+            # fired yet, so the serial path replays them all, once).
+            if observer is not None:
+                observer.count("pmap_pool_broken_total")
+            return _run_serial(
+                fn, item_list, bounds, seed, path, observer, quarantine, crash_point
+            )
+        merged: List[R] = []
+        pool_broken = False
+        # Merge in shard-submission order; completion order is irrelevant.
+        # The crash point fires here — parent process, shard order — so
+        # injected deaths are worker-count-invariant.
+        for (start, stop), future in zip(bounds, pending):
+            if crash_point is not None:
+                crash_point(PMAP_SHARD_POINT)
+            try:
+                shard_result = future.result()
+            except futures.BrokenExecutor:
+                # A worker died (os._exit, OOM kill).  Rescue just this
+                # shard in the parent; later shards rescue themselves the
+                # same way while the pool stays broken.
+                if not pool_broken and observer is not None:
+                    observer.count("pmap_pool_broken_total")
+                pool_broken = True
+                shard_result = rescue_shard(start, stop)
+            except (pickle.PicklingError, TypeError, AttributeError):
+                # Unpicklable items/results — or ``fn`` genuinely raising
+                # one of these types, which the parent rerun re-raises (or
+                # quarantines) exactly as the serial path would.
+                shard_result = rescue_shard(start, stop)
+            except Exception:
+                if quarantine is None:
+                    raise
+                shard_result = rescue_shard(start, stop)
+            _merge_shard_result(shard_result, merged, observer)
+        return merged

@@ -21,7 +21,13 @@ from repro.store.cas import (
     canonical_json_bytes,
     digest_of,
 )
-from repro.store.checkpoint import ArtifactStore, Stage, StateCursor
+from repro.store.checkpoint import (
+    LEDGER_APPEND_POINT,
+    STORE_COMMIT_POINT,
+    ArtifactStore,
+    Stage,
+    StateCursor,
+)
 from repro.store.config import STORE_ENV, open_store, resolve_store_dir
 from repro.store.keys import CacheKey, canonicalize, code_fingerprint
 from repro.store.ledger import Ledger
@@ -30,7 +36,9 @@ __all__ = [
     "ArtifactStore",
     "CacheKey",
     "ContentStore",
+    "LEDGER_APPEND_POINT",
     "Ledger",
+    "STORE_COMMIT_POINT",
     "STORE_ENV",
     "Stage",
     "StateCursor",

@@ -49,10 +49,18 @@ def digest_of(payload: Dict[str, Any]) -> str:
 
 
 def atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``)."""
+    """Write ``data`` to ``path`` atomically (temp + fsync + ``os.replace``).
+
+    The fsync before the rename is what makes the atomicity real: without
+    it a crash after ``os.replace`` can leave the final name pointing at
+    data the kernel never flushed — a torn write wearing an atomic name.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(data)
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 

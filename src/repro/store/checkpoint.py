@@ -32,6 +32,16 @@ PathLike = Union[str, pathlib.Path]
 
 _PAYLOAD_SCHEMA = 1
 
+#: Crash-point labels the store hits on every miss commit (spelled here,
+#: not imported from ``repro.supervise`` — the dependency points up).
+#: ``store:commit`` fires after the object lands in the CAS but before
+#: the index entry names it: a death there leaves an unindexed object the
+#: recompute re-puts idempotently.  ``store:ledger:append`` fires after
+#: the index write but before the audit line: a death there makes the
+#: next run a hit whose ledger line simply records the hit.
+STORE_COMMIT_POINT = "store:commit"
+LEDGER_APPEND_POINT = "store:ledger:append"
+
 
 class StateCursor:
     """Capture/restore hooks for the mutable state a stage advances.
@@ -89,6 +99,10 @@ class ArtifactStore:
         self.ledger = Ledger(self.root / "ledger.jsonl")
         self.index_dir = self.root / "index"
         self.observer = ensure_observer(observer)
+        #: Assignable crash hook (``repro.supervise`` threads its
+        #: :class:`~repro.supervise.crashplan.CrashPoints` in here); called
+        #: with a label at each commit point, may raise to simulate death.
+        self.crash_point: Optional[Callable[[str], None]] = None
         self.run_id = self.ledger.next_run_id()
         #: stage name → content digest of its most recent artifact (this
         #: process), which is how downstream stages chain upstream digests
@@ -178,6 +192,8 @@ class ArtifactStore:
             "cursor_after": cursor.capture() if cursor is not None else None,
         }
         obj_digest = self.cas.put(payload)
+        if self.crash_point is not None:
+            self.crash_point(STORE_COMMIT_POINT)
         entry = {
             "schema": _PAYLOAD_SCHEMA,
             "kind": "store-index",
@@ -188,6 +204,8 @@ class ArtifactStore:
         atomic_write_bytes(
             self.index_path(stage.name, key_digest), canonical_json_bytes(entry)
         )
+        if self.crash_point is not None:
+            self.crash_point(LEDGER_APPEND_POINT)
         size = self.cas.size_of(obj_digest)
         self.observer.count("store_misses_total", stage=stage.name)
         self.observer.count("store_bytes_written_total", amount=size)

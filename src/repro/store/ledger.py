@@ -14,7 +14,9 @@ repeated runs diff cleanly and no wall-clock ever leaks into the file.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import warnings
 from typing import Any, Dict, Iterator, List, Union
 
 from repro.errors import StoreError
@@ -55,27 +57,64 @@ class Ledger:
             "bytes": size,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._heal_torn_tail()
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(canonical_json_bytes(record).decode("utf-8") + "\n")
+            # fsync the line: a crash right after append must not be able
+            # to lose an event whose artifact already landed on disk.
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _heal_torn_tail(self) -> None:
+        """Truncate a torn final line so the next append starts clean.
+
+        Without this, appending after a mid-line crash would concatenate
+        the new record onto the torn fragment — turning a recoverable torn
+        tail into unrecoverable mid-file corruption.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1
+        warnings.warn(
+            f"ledger {self.path} ends in a torn line "
+            "(writer killed mid-append); truncating it before appending",
+            stacklevel=3,
+        )
+        with self.path.open("rb+") as handle:
+            handle.truncate(keep)
 
     def entries(self) -> Iterator[Dict[str, Any]]:
         """Parsed ledger lines in file order.
 
-        A truncated final line (a writer killed mid-append) is skipped;
-        a malformed line anywhere else raises — that is corruption, not an
-        interrupted append.
+        A *torn tail* — a final line with no trailing newline, i.e. a
+        writer killed mid-append — is skipped with a warning: the event it
+        described never finished happening.  A malformed line anywhere
+        else (or a final line that does end in a newline) raises — that is
+        corruption, not an interrupted append.
         """
         if not self.path.exists():
             return
-        lines = self.path.read_text(encoding="utf-8").splitlines()
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        if text and not text.endswith("\n"):
+            # No trailing newline = the append never committed, even if
+            # the fragment happens to parse; :meth:`append` will truncate
+            # it, so counting it here would make run ids non-monotonic.
+            warnings.warn(
+                f"ledger {self.path} ends in a torn line "
+                "(writer killed mid-append); skipping it",
+                stacklevel=2,
+            )
+            lines = lines[:-1]
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
                 yield json.loads(line)
             except ValueError as exc:
-                if index == len(lines) - 1:
-                    return
                 raise StoreError(
                     f"ledger {self.path} line {index + 1} is corrupt: {exc}"
                 ) from exc

@@ -63,6 +63,77 @@ class TestExecution:
         assert "fig3-client-geomap" in out
 
 
+class TestCrashtest:
+    def test_parser_registers_crashtest(self):
+        args = build_parser().parse_args(
+            ["crashtest", "--crash-profile", "light", "--min-crashes", "2"]
+        )
+        assert args.command == "crashtest"
+        assert args.crash_profile == "light"
+        assert args.min_crashes == 2
+        assert args.scale == 0.02
+        assert args.store == ".repro-crashtest-store"
+
+    def test_crashtest_survives_the_moderate_schedule(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.io import load_json
+        from repro.supervise import CRASHES_ENV, CompletenessManifest
+
+        monkeypatch.delenv(CRASHES_ENV, raising=False)
+        crash_json = tmp_path / "crash.json"
+        clean_json = tmp_path / "clean.json"
+        manifest_json = tmp_path / "manifest.json"
+        code = main(
+            [
+                "crashtest",
+                "--scale",
+                "0.02",
+                "--seed",
+                "11",
+                "--store",
+                str(tmp_path / "store"),
+                "--json",
+                str(crash_json),
+                "--clean-json",
+                str(clean_json),
+                "--manifest-out",
+                str(manifest_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crashtest: OK" in out
+        assert "byte-identical" in out
+        # The archived documents are what CI byte-compares.
+        assert crash_json.read_bytes() == clean_json.read_bytes()
+        manifest = CompletenessManifest.from_dict(load_json(manifest_json))
+        assert manifest.complete
+        assert len(manifest.crashes) >= 5
+        assert len({e.point for e in manifest.crashes}) >= 5
+        assert manifest.restarts_used >= 5
+        assert manifest.crash_plan["name"] == "moderate"
+
+    def test_crashtest_fails_below_min_crashes(self, tmp_path, capsys):
+        code = main(
+            [
+                "crashtest",
+                "--scale",
+                "0.02",
+                "--seed",
+                "11",
+                "--crash-profile",
+                "none",
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "crashtest: FAIL" in err
+        assert "need >= 5" in err
+
+
 class TestObservability:
     def test_obs_prints_text_snapshot(self, capsys):
         code = main(["obs", "--scale", "0.01", "--seed", "3"])

@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` static-analysis engine (REP001–REP010)."""
+"""Tests for the ``repro lint`` static-analysis engine (REP001–REP010, REP014)."""
 
 import json
 import os
@@ -503,6 +503,116 @@ class TestRep010ArtifactWrite:
             "    json.dump({}, fh)\n"
         )
         assert run_lint([str(target)], rule_ids=["REP010"]).findings == []
+
+
+class TestRep014SupervisionContainment:
+    @pytest.mark.parametrize(
+        "exc",
+        ["BaseException", "KeyboardInterrupt", "SystemExit", "SimulatedCrashError"],
+    )
+    def test_flags_teardown_catches(self, tmp_path, exc):
+        source = f"""
+        try:
+            probe()
+        except {exc}:
+            recover()
+        """
+        findings = lint_source(tmp_path, source, rules=["REP014"])
+        assert [f.rule for f in findings] == ["REP014"]
+        assert "repro.supervise" in findings[0].message
+
+    def test_flags_teardown_name_inside_a_tuple(self, tmp_path):
+        source = """
+        try:
+            probe()
+        except (ValueError, KeyboardInterrupt):
+            recover()
+        """
+        assert len(lint_source(tmp_path, source, rules=["REP014"])) == 1
+
+    def test_flags_attribute_spelling(self, tmp_path):
+        source = """
+        import repro.errors
+        try:
+            probe()
+        except repro.errors.SimulatedCrashError:
+            recover()
+        """
+        assert len(lint_source(tmp_path, source, rules=["REP014"])) == 1
+
+    def test_flags_bare_except(self, tmp_path):
+        source = """
+        try:
+            probe()
+        except:
+            recover()
+        """
+        findings = lint_source(tmp_path, source, rules=["REP014"])
+        assert len(findings) == 1
+        assert "teardown" in findings[0].message
+
+    def test_flags_signal_handler_installs(self, tmp_path):
+        source = """
+        import signal
+        signal.signal(signal.SIGTERM, handler)
+        """
+        findings = lint_source(tmp_path, source, rules=["REP014"])
+        assert len(findings) == 1
+        assert "signal" in findings[0].message
+
+    def test_flags_aliased_signal_install(self, tmp_path):
+        source = """
+        from signal import signal as install
+        install(15, handler)
+        """
+        assert len(lint_source(tmp_path, source, rules=["REP014"])) == 1
+
+    def test_reading_signal_constants_is_clean(self, tmp_path):
+        source = """
+        import signal
+        name = signal.Signals(15).name
+        pending = signal.getsignal(signal.SIGTERM)
+        """
+        assert lint_source(tmp_path, source, rules=["REP014"]) == []
+
+    def test_typed_repro_error_catch_is_clean(self, tmp_path):
+        source = """
+        try:
+            probe()
+        except NetworkError:
+            recover()
+        """
+        assert lint_source(tmp_path, source, rules=["REP014"]) == []
+
+    def test_even_exception_catch_all_is_not_rep014(self, tmp_path):
+        # ``except Exception`` is REP008's finding; REP014 is only about
+        # teardown interception, which Exception does not catch.
+        source = """
+        try:
+            probe()
+        except Exception:
+            recover()
+        """
+        assert lint_source(tmp_path, source, rules=["REP014"]) == []
+
+    def test_supervision_plane_is_exempt(self, tmp_path):
+        target = tmp_path / "repro" / "supervise" / "supervisor.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "try:\n    probe()\nexcept SimulatedCrashError:\n    restart()\n"
+        )
+        assert run_lint([str(target)], rule_ids=["REP014"]).findings == []
+
+    def test_fault_plane_is_not_exempt(self, tmp_path):
+        # REP008 exempts faults/parallel (they catch broadly by design);
+        # REP014 does not — teardown containment has no second home.
+        target = tmp_path / "repro" / "faults" / "retry.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "try:\n    probe()\nexcept BaseException:\n    pass\n"
+        )
+        findings = run_lint([str(target)], rule_ids=["REP014"]).findings
+        assert [f.rule for f in findings] == ["REP014"]
 
 
 class TestSuppression:

@@ -1,0 +1,234 @@
+"""Tests for pmap's robustness hooks: quarantine, crash points, pool rescue.
+
+The contracts under test:
+
+- a poisoned item degrades the result by exactly its own slot (the
+  ``QUARANTINED`` sentinel), never by aborting the run — and the
+  quarantined set is a function of the items, not of worker count or
+  shard boundaries;
+- the ``crash_point`` hook fires once per shard, in shard order, in the
+  parent process, and whatever it raises propagates untouched;
+- a broken process pool (worker death) is rescued by re-running the
+  affected shards in the parent, counted as ``pmap_pool_broken_total``.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ParallelError, SimulatedCrashError
+from repro.obs.scope import Observer
+from repro.parallel import (
+    PMAP_SHARD_POINT,
+    QUARANTINED,
+    ShardQuarantine,
+    pmap,
+)
+from repro.parallel import executor as executor_module
+
+POISON = {3, 11}
+
+
+def poisoned_square(value):
+    """Module-level (picklable) fn that fails on the poison items."""
+    if value in POISON:
+        raise ValueError(f"poison item {value}")
+    return value * value
+
+
+def poisoned_draw(value, rng):
+    if value in POISON:
+        raise ValueError(f"poison item {value}")
+    return (value, rng.random())
+
+
+def poisoned_counting(value, observer):
+    if value in POISON:
+        raise ValueError(f"poison item {value}")
+    observer.count("items_ok_total")
+    return value
+
+
+def die_in_worker(value, observer):
+    """Kills the pool worker outright; survives when run in the parent.
+
+    Takes the shard observer (the tests below run under an enabled
+    observer, so pmap passes it) — which also proves the parent rescue
+    threads the observer contract through unchanged.
+    """
+    if executor_module._IN_WORKER:
+        os._exit(1)
+    observer.count("survived_in_parent_total")
+    return value + 100
+
+
+class TestQuarantineRecord:
+    def test_max_attempts_validated(self):
+        with pytest.raises(ParallelError):
+            ShardQuarantine(max_attempts=0)
+
+    def test_record_dedupes_on_path_and_index(self):
+        quarantine = ShardQuarantine()
+        error = ValueError("boom")
+        assert quarantine.record(("classify",), 4, error)
+        assert not quarantine.record(("classify",), 4, error)
+        assert quarantine.record(("classify",), 5, error)
+        assert quarantine.record(("scan",), 4, error)
+        assert len(quarantine) == 3
+        assert quarantine.indices(("classify",)) == [4, 5]
+
+    def test_reports_carry_path_index_and_error(self):
+        quarantine = ShardQuarantine()
+        quarantine.record(("a", "b"), 7, ValueError("bad page"))
+        assert quarantine.reports() == [
+            {"path": "a/b", "index": 7, "error": "ValueError: bad page"}
+        ]
+
+
+class TestQuarantinedResults:
+    def test_poison_items_become_sentinels(self):
+        quarantine = ShardQuarantine()
+        out = pmap(poisoned_square, range(16), workers=1, quarantine=quarantine)
+        for index, result in enumerate(out):
+            if index in POISON:
+                assert result is QUARANTINED
+            else:
+                assert result == index * index
+        assert quarantine.indices() == sorted(POISON)
+
+    def test_without_quarantine_poison_propagates(self):
+        with pytest.raises(ValueError):
+            pmap(poisoned_square, range(16), workers=1)
+        with pytest.raises(ValueError):
+            pmap(poisoned_square, range(16), workers=2)
+
+    def test_quarantined_set_is_worker_count_invariant(self):
+        serial_q = ShardQuarantine()
+        pooled_q = ShardQuarantine()
+        serial = pmap(poisoned_square, range(16), workers=1, quarantine=serial_q)
+        pooled = pmap(poisoned_square, range(16), workers=2, quarantine=pooled_q)
+        assert pooled == serial
+        assert pooled_q.reports() == serial_q.reports()
+
+    def test_quarantined_set_is_shard_count_invariant(self):
+        results = {}
+        for shards in (1, 4, 16):
+            quarantine = ShardQuarantine()
+            out = pmap(
+                poisoned_draw,
+                range(16),
+                seed=7,
+                seed_path=("q",),
+                workers=1,
+                shards=shards,
+                quarantine=quarantine,
+            )
+            results[shards] = (out, quarantine.reports())
+        assert results[1] == results[4] == results[16]
+
+    def test_transient_shard_failure_heals_without_quarantine(self):
+        flaky_calls = []
+
+        def flaky(value):
+            # Fails the whole first shard attempt, then succeeds: the
+            # whole-shard retry must rescue it with nothing quarantined.
+            if value == 2 and flaky_calls.count(2) == 0:
+                flaky_calls.append(value)
+                raise ValueError("transient")
+            return value
+
+        quarantine = ShardQuarantine(max_attempts=2)
+        out = pmap(flaky, range(8), workers=1, shards=2, quarantine=quarantine)
+        assert out == list(range(8))
+        assert len(quarantine) == 0
+
+    def test_quarantine_metrics_are_worker_count_invariant(self):
+        def run(workers):
+            observer = Observer(name=f"w{workers}")
+            quarantine = ShardQuarantine()
+            out = pmap(
+                poisoned_counting,
+                range(16),
+                workers=workers,
+                observer=observer,
+                quarantine=quarantine,
+            )
+            return out, observer.registry.counter("items_ok_total").value, (
+                observer.registry.counter("pmap_items_quarantined_total").value
+            )
+
+        serial = run(1)
+        pooled = run(2)
+        assert serial == pooled
+        assert serial[1] == 16 - len(POISON)
+        assert serial[2] == len(POISON)
+
+    def test_shared_quarantine_does_not_double_report_across_calls(self):
+        quarantine = ShardQuarantine()
+        pmap(poisoned_square, range(16), workers=1, quarantine=quarantine)
+        pmap(poisoned_square, range(16), workers=1, quarantine=quarantine)
+        assert quarantine.indices() == sorted(POISON)
+
+
+class TestCrashPoints:
+    def test_hook_fires_once_per_shard_in_order(self):
+        for workers in (1, 2):
+            labels = []
+            out = pmap(
+                poisoned_square,
+                range(8),
+                workers=workers,
+                shards=4,
+                quarantine=ShardQuarantine(),
+                crash_point=labels.append,
+            )
+            assert len(out) == 8
+            assert labels == [PMAP_SHARD_POINT] * 4
+
+    def test_simulated_crash_propagates_through_pmap(self):
+        # SimulatedCrashError is a BaseException: neither quarantine nor
+        # pool rescue may absorb it — only the supervisor.
+        for workers in (1, 2):
+            visits = {"n": 0}
+
+            def crash_point(label):
+                visits["n"] += 1
+                if visits["n"] == 2:
+                    raise SimulatedCrashError(point=label, visit=2)
+
+            with pytest.raises(SimulatedCrashError):
+                pmap(
+                    poisoned_square,
+                    range(8),
+                    workers=workers,
+                    shards=4,
+                    quarantine=ShardQuarantine(),
+                    crash_point=crash_point,
+                )
+            assert visits["n"] == 2
+
+
+class TestBrokenPool:
+    def test_worker_death_is_rescued_in_parent(self):
+        observer = Observer(name="broken")
+        out = pmap(die_in_worker, range(12), workers=2, observer=observer)
+        assert out == [v + 100 for v in range(12)]
+        assert observer.registry.counter("pmap_pool_broken_total").value == 1
+
+    def test_worker_death_with_quarantine_and_crash_points(self):
+        observer = Observer(name="broken")
+        labels = []
+        quarantine = ShardQuarantine()
+        out = pmap(
+            die_in_worker,
+            range(12),
+            workers=2,
+            shards=4,
+            observer=observer,
+            quarantine=quarantine,
+            crash_point=labels.append,
+        )
+        assert out == [v + 100 for v in range(12)]
+        assert len(quarantine) == 0
+        assert labels == [PMAP_SHARD_POINT] * 4
+        assert observer.registry.counter("pmap_pool_broken_total").value == 1
