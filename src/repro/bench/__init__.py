@@ -2,8 +2,9 @@
 
 The bench plane turns the repo's human-readable ``benchmarks/reports/*.txt``
 story into a regression system: deterministic workload specs exercise the
-four hot-path kernels (descriptor-window derivation, SHA-1 ring placement,
-consensus generation, request-time-series aggregation), a shared runner
+hot-path kernels (descriptor-window derivation, SHA-1 ring placement,
+consensus generation, request-time-series aggregation) plus the end-to-end
+``pipeline`` chain that strings them together, a shared runner
 applies one warmup/repeat policy and captures wall time plus workload
 checksums, every run appends a schema-versioned point to a ``BENCH_<name>.json``
 trajectory, and ``repro bench compare`` diffs two trajectories and fails on

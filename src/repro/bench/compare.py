@@ -8,9 +8,13 @@ Two failure classes, deliberately distinct:
   kernel stopped being byte-equivalent to its reference.  Both are verdicts
   about the code.
 * **Not comparable** (exit 2) — the documents cannot be meaningfully
-  diffed: different workloads, no overlapping cells, or (at the CLI) a
+  diffed: different workloads, no overlapping cells, a current cell with no
+  baseline (e.g. a ``paper``-tier point diffed against a ``small``-tier
+  baseline), a shared cell whose item count changed, or (at the CLI) a
   missing baseline or a schema-version mismatch.  These are verdicts about
   the harness, and CI must not paint them green *or* blame the code.
+  Baseline-only cells are fine — committed trajectories legitimately carry
+  history (``paper`` points) that a quick run does not revisit.
 
 Comparison uses ``min_seconds``: the minimum over repeats is the least
 noise-contaminated estimate of a deterministic workload's cost.
@@ -128,23 +132,33 @@ def compare_trajectories(
     if not shared:
         messages.append(f"no comparable cells for workload {current.name!r}")
         return CompareResult(exit_code=EXIT_NOT_COMPARABLE, messages=messages)
+    # A measured current cell the baseline cannot vouch for is a harness
+    # verdict, not a pass: exit 2 so mixed-tier runs (a paper point against
+    # a small-only baseline) are never painted green by their small cells.
+    uncovered = bool(messages)
     points = []
     for cell in shared:
         base, cur = base_cells[cell], cur_cells[cell]
         if base.items != cur.items:
             # The workload spec changed size between runs: wall times (and
-            # checksums) are about different work, so skip the cell loudly.
+            # checksums) are about different work, so the cell cannot be
+            # judged — which must surface as exit 2, not as a silent skip
+            # that leaves the gate green with the cell unexamined.
             messages.append(
                 f"cell {cell[0]}/{cell[1]} changed size "
                 f"({base.items} -> {cur.items} items); not compared"
             )
+            uncovered = True
             continue
         points.append(_compare_cell(base, cur, threshold_pct))
     if not points:
         return CompareResult(exit_code=EXIT_NOT_COMPARABLE, messages=messages)
-    exit_code = (
-        EXIT_REGRESSION if any(point.regressed for point in points) else EXIT_OK
-    )
+    if any(point.regressed for point in points):
+        exit_code = EXIT_REGRESSION  # broken code outranks a broken harness
+    elif uncovered:
+        exit_code = EXIT_NOT_COMPARABLE
+    else:
+        exit_code = EXIT_OK
     return CompareResult(exit_code=exit_code, points=points, messages=messages)
 
 

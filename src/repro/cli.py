@@ -332,7 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
         "workloads",
         nargs="*",
         default=[],
-        help="workload names (default: the four hot-path workloads)",
+        help="workload names (default: the hot-path workloads)",
     )
     bench_run.add_argument(
         "--tier",

@@ -151,6 +151,7 @@ class PopularityWorkload:
         self.spec = spec
         self._rng = rng
         self._geoip = geoip if geoip is not None else GeoIP(seed=0)
+        self._ghost_id_cache: Optional[Dict[OnionAddress, List[bytes]]] = None
 
     def _make_clients(self) -> List[TorClient]:
         clients: List[TorClient] = []
@@ -199,11 +200,32 @@ class PopularityWorkload:
         return {onion: count for onion, count in zip(targets, counts) if count > 0}
 
     def _ghost_ids(self, onion: OnionAddress) -> List[bytes]:
-        """The fixed stale descriptor IDs replayed for a dead onion."""
-        from repro.crypto.descriptor_id import descriptor_ids_for_day
+        """The fixed stale descriptor IDs replayed for a dead onion.
+
+        Derived once for the whole ghost population through the batched
+        kernel (the IDs are fixed per onion — the derivation draws no
+        randomness, so hoisting it out of the per-slice loop cannot shift
+        any RNG stream) and memoised; an onion outside the spec's ghost
+        list still derives on demand.
+        """
+        from repro.crypto.descriptor_id import (
+            descriptor_ids_for_day,
+            descriptor_ids_for_day_batch,
+        )
 
         stale_time = self.spec.window_start - self.spec.ghost_staleness_days * DAY
-        return descriptor_ids_for_day(onion, stale_time)
+        if self._ghost_id_cache is None:
+            self._ghost_id_cache = dict(
+                zip(
+                    self.spec.ghost_onions,
+                    descriptor_ids_for_day_batch(self.spec.ghost_onions, stale_time),
+                )
+            )
+        ids = self._ghost_id_cache.get(onion)
+        if ids is None:
+            ids = descriptor_ids_for_day(onion, stale_time)
+            self._ghost_id_cache[onion] = ids
+        return ids
 
     def _full_plan(self) -> List[tuple[OnionAddress, int, str]]:
         spec = self.spec

@@ -97,8 +97,49 @@ def responsible_positions_batch(
         # everything below lo is < query and everything at hi and beyond is
         # greater, so this bisect equals bisect_right over the whole list.
         start = hi if lo == hi else bisect.bisect_right(points, query, lo, hi)
-        results.append([points[(start + i) % size] for i in range(take)])
+        end = start + take
+        if end <= size:
+            # The successor run does not wrap; a C-level slice beats the
+            # per-index modulo loop on the overwhelmingly common case.
+            results.append(points[start:end])
+        else:
+            results.append([points[(start + i) % size] for i in range(take)])
     return results
+
+
+def ring_start_indices(
+    descriptor_points: Sequence[int], sorted_points: Sequence[int]
+) -> List[int]:
+    """``bisect_right(sorted_points, q)`` for every query, vectorised.
+
+    The shared first half of every placement query: the index where each
+    descriptor point's successor run starts (``len(sorted_points)`` means
+    "wraps to index 0").  Same 64-bit-prefix ``searchsorted`` + exact-tie
+    refinement as :func:`responsible_positions_batch`, same scalar fallback,
+    and element *i* always equals ``bisect.bisect_right(sorted_points,
+    descriptor_points[i])``.
+    """
+    points = list(sorted_points)
+    if not descriptor_points:
+        return []
+    if not points:
+        return [0 for _ in descriptor_points]
+    if _np is None or len(descriptor_points) < 8:
+        return [bisect.bisect_right(points, q) for q in descriptor_points]
+    member_prefix = _np.fromiter(
+        (p >> _PREFIX_SHIFT for p in points), dtype=_np.uint64, count=len(points)
+    )
+    query_prefix = _np.fromiter(
+        (q >> _PREFIX_SHIFT for q in descriptor_points),
+        dtype=_np.uint64,
+        count=len(descriptor_points),
+    )
+    low = _np.searchsorted(member_prefix, query_prefix, side="left")
+    high = _np.searchsorted(member_prefix, query_prefix, side="right")
+    return [
+        hi if lo == hi else bisect.bisect_right(points, query, lo, hi)
+        for query, lo, hi in zip(descriptor_points, low.tolist(), high.tolist())
+    ]
 
 
 class FingerprintRing:
@@ -156,9 +197,9 @@ class FingerprintRing:
         over all IDs instead of a Python bisect per ID).
         """
         points = [int.from_bytes(desc, "big") for desc in descriptor_ids]
-        by_position = self._by_position
+        resolve = self._by_position.__getitem__
         return [
-            [by_position[p] for p in positions]
+            list(map(resolve, positions))
             for positions in responsible_positions_batch(
                 points, self._positions, count
             )

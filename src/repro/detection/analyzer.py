@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.crypto.descriptor_id import REPLICAS, descriptor_id
+from repro.crypto.descriptor_id import REPLICAS, descriptor_index_entries
 from repro.crypto.keys import Fingerprint
 from repro.crypto.onion import OnionAddress, permanent_id_from_onion
 from repro.detection.rules import DetectionThresholds, binomial_threshold
@@ -226,6 +226,11 @@ class TrackingAnalyzer:
         offset = (permanent_id[0] * DAY) // 256
         first_period = (int(start) + offset) // DAY
         last_period = (int(end) + offset) // DAY
+        # Every (period, replica) descriptor ID the window needs, derived in
+        # one indexed pass (entry ``(period - first_period) * REPLICAS +
+        # replica`` — the same order the scalar loop derived them in) instead
+        # of one SHA-1 pair per period inside the sweep.
+        id_entries = descriptor_index_entries(onion, start, end)
 
         report = TrackingReport(
             onion=onion,
@@ -245,8 +250,9 @@ class TrackingAnalyzer:
             if len(ring) == 0:
                 return None
             events: List[Tuple] = []
+            base = (period - first_period) * REPLICAS
             for replica in range(REPLICAS):
-                desc_id = descriptor_id(onion, period_start, replica)
+                desc_id = id_entries[base + replica][0]
                 for fingerprint in ring.responsible_for(desc_id):
                     entry = consensus.entry_for(fingerprint)
                     if entry is None:

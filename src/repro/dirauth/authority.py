@@ -26,7 +26,7 @@ from repro.dirauth.consensus import (
 )
 from repro.dirauth.voting import FlagPolicy
 from repro.errors import ConsensusError
-from repro.relay.flags import RelayFlags
+from repro.relay.flags import RelayFlags, flags_overlap
 from repro.relay.relay import Relay
 from repro.sim.clock import Timestamp
 
@@ -76,7 +76,7 @@ class DirectoryAuthoritySet:
             if not relay.reachable:
                 continue
             flags = self.policy.flags_for(relay, now)
-            if not flags & RelayFlags.RUNNING:
+            if not flags_overlap(flags, RelayFlags.RUNNING):
                 continue
             candidates.append(
                 ConsensusEntry(

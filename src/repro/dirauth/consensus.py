@@ -20,7 +20,7 @@ from repro.crypto.keys import Fingerprint
 from repro.crypto.ring import FingerprintRing
 from repro.errors import ConsensusError
 from repro.net.address import IPv4
-from repro.relay.flags import RelayFlags
+from repro.relay.flags import RelayFlags, flags_overlap
 from repro.sim.clock import Timestamp
 
 MAX_RELAYS_PER_IP = 2
@@ -48,7 +48,7 @@ class ConsensusEntry(NamedTuple):
 
     def has(self, flag: RelayFlags) -> bool:
         """Whether the entry carries ``flag``."""
-        return bool(self.flags & flag)
+        return flags_overlap(self.flags, flag)
 
 
 @dataclass
@@ -87,14 +87,18 @@ class Consensus:
 
     def with_flag(self, flag: RelayFlags) -> List[ConsensusEntry]:
         """All entries carrying ``flag``."""
-        return [entry for entry in self.entries if entry.flags & flag]
+        return [entry for entry in self.entries if flags_overlap(entry.flags, flag)]
 
     @property
     def hsdir_ring(self) -> FingerprintRing:
         """The HSDir fingerprint ring implied by this consensus (cached)."""
         if self._hsdir_ring is None:
             self._hsdir_ring = FingerprintRing(
-                [e.fingerprint for e in self.entries if e.flags & RelayFlags.HSDIR]
+                [
+                    e.fingerprint
+                    for e in self.entries
+                    if flags_overlap(e.flags, RelayFlags.HSDIR)
+                ]
             )
         return self._hsdir_ring
 

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.dirauth.consensus import Consensus, ConsensusEntry, apply_per_ip_limit
 from repro.dirauth.voting import FlagPolicy
 from repro.errors import ConsensusError
-from repro.relay.flags import RelayFlags
+from repro.relay.flags import RelayFlags, flags_overlap
 from repro.relay.relay import Relay
 from repro.sim.clock import Timestamp
 from repro.sim.rng import derive_rng, split_rng
@@ -73,7 +73,7 @@ class DirectoryAuthority:
             if self._rng.random() < self.misreachability:
                 continue  # we failed to reach it; others may succeed
             flags = self.policy.flags_for(relay, now)
-            if not flags & RelayFlags.RUNNING:
+            if not flags_overlap(flags, RelayFlags.RUNNING):
                 continue
             measured = max(
                 1,

@@ -10,11 +10,28 @@ harvesting attack exploits.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.relay.flags import RelayFlags
 from repro.relay.relay import Relay
 from repro.sim.clock import DAY, HOUR, Timestamp
+
+# Flag assignment runs once per relay per consensus — hundreds of thousands
+# of times in an archive build — and IntFlag's operators construct a new
+# enum member per ``|``.  The policy therefore works on plain int masks and
+# converts once at the end, through a cache over the handful of masks that
+# actually occur.
+_RUNNING_VALID = RelayFlags.RUNNING.value | RelayFlags.VALID.value
+_FAST = RelayFlags.FAST.value
+_STABLE = RelayFlags.STABLE.value
+_HSDIR = RelayFlags.HSDIR.value
+_GUARD = RelayFlags.GUARD.value
+
+
+@functools.lru_cache(maxsize=None)
+def _flags_from_mask(mask: int) -> RelayFlags:
+    return RelayFlags(mask)
 
 
 @dataclass(frozen=True)
@@ -40,17 +57,17 @@ class FlagPolicy:
         """Flags a relay earns at ``now`` from its uptime and bandwidth."""
         if not relay.reachable:
             return RelayFlags.NONE
-        flags = RelayFlags.RUNNING | RelayFlags.VALID
+        mask = _RUNNING_VALID
         uptime = relay.uptime(now)
         if relay.bandwidth >= self.fast_min_bandwidth:
-            flags |= RelayFlags.FAST
+            mask |= _FAST
         if uptime >= self.stable_min_uptime:
-            flags |= RelayFlags.STABLE
+            mask |= _STABLE
         if uptime >= self.hsdir_min_uptime:
-            flags |= RelayFlags.HSDIR
+            mask |= _HSDIR
         if (
             uptime >= self.guard_min_uptime
             and relay.bandwidth >= self.guard_min_bandwidth
         ):
-            flags |= RelayFlags.GUARD
-        return flags
+            mask |= _GUARD
+        return _flags_from_mask(mask)

@@ -15,7 +15,11 @@ from repro.detection import (
 from repro.detection.analyzer import ServerKey
 from repro.detection.silkroad import SilkroadWorld
 from repro.parallel import resolve_workers
-from repro.sim.clock import Timestamp, parse_date
+from repro.popularity.timeseries import (
+    RequestTimeSeries,
+    classify_services_by_shape,
+)
+from repro.sim.clock import DAY, Timestamp, parse_date
 from repro.store import ArtifactStore, Stage
 
 #: Modules whose source feeds the sec7 checkpoint's code fingerprint.
@@ -117,6 +121,12 @@ class Sec7Result:
     likely_by_year: Dict[str, Dict[ServerKey, List[str]]] = field(default_factory=dict)
     takeovers: List[Tuple[Timestamp, List[ServerKey]]] = field(default_factory=list)
     report: ExperimentReport = field(default_factory=lambda: ExperimentReport("sec7"))
+    #: Responsibility-occupancy shape label per server per year window,
+    #: from the batched shape kernel: a ``machine`` label means the server
+    #: held responsible slots with near-constant per-period regularity —
+    #: the cadence of a tracker grinding keys, not of chance placement.
+    #: Intermediate state like ``world``: empty when replayed from a store.
+    occupancy_labels: Dict[str, Dict[ServerKey, str]] = field(default_factory=dict)
 
     def detected_entities(self, year: str) -> Set[str]:
         """Ground-truth entities whose servers were convicted in ``year``."""
@@ -144,6 +154,37 @@ class Sec7Result:
             for server in self.likely_by_year.get(year, {})
             if server not in injected
         )
+
+
+def _occupancy_labels(
+    yearly: TrackingReport, window_start: Timestamp
+) -> Dict[ServerKey, str]:
+    """Shape-classify each server's per-period responsibility occupancy.
+
+    Every server's event stream becomes a daily time series (slots held per
+    period), and the whole window's servers are labelled in one batched
+    :func:`classify_services_by_shape` call.  A chance responsible HSDir
+    shows a sparse, bursty series; a tracker that repositions every period
+    shows the flat machine-like cadence the kernel flags.  ``min_requests``
+    is two full periods' worth of slots, so one-off placements stay
+    ``low-volume`` instead of reading as evidence either way.
+    """
+    if not yearly.servers:
+        return {}
+    length = 1 + max(
+        event.period_index
+        for record in yearly.servers.values()
+        for event in record.events
+    )
+    series: Dict[ServerKey, RequestTimeSeries] = {}
+    for server, record in sorted(yearly.servers.items()):
+        counts = [0] * length
+        for event in record.events:
+            counts[event.period_index] += 1
+        series[server] = RequestTimeSeries(
+            start=int(window_start), bucket_seconds=DAY, counts=counts
+        )
+    return classify_services_by_shape(series, min_requests=12)
 
 
 def _sec7_to_payload(result: Sec7Result) -> Dict[str, Any]:
@@ -212,6 +253,9 @@ def run_sec7(
         )
         result.yearly_reports[year] = yearly
         result.likely_by_year[year] = yearly.likely_trackers()
+        result.occupancy_labels[year] = _occupancy_labels(
+            yearly, parse_date(start_text)
+        )
         if year == "year3":
             result.takeovers = yearly.full_takeovers()
 

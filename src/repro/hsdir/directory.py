@@ -59,7 +59,10 @@ class HSDirServer:
     # 24 h; sub-hour precision buys nothing, and sweeping on every store
     # and fetch is O(stored descriptors) — at harvest scale (millions of
     # operations against thousands of cached descriptors) that sweep, not
-    # the protocol work, dominates runtime.
+    # the protocol work, dominates runtime.  The granularity is also part
+    # of the pinned behaviour: sweep timing decides whether a re-stored
+    # descriptor re-enters the dict at the end or stays in place, and that
+    # insertion order is visible through ``stored_descriptors``.
     EXPIRY_GRANULARITY = HOUR
 
     def __init__(self, relay_id: int, keep_log: bool = True) -> None:

@@ -10,9 +10,13 @@ every attack in the paper call exactly this function.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
-from repro.crypto.descriptor_id import REPLICAS, descriptor_id
+from repro.crypto.descriptor_id import (
+    REPLICAS,
+    descriptor_id,
+    descriptor_ids_for_day_batch,
+)
 from repro.crypto.keys import Fingerprint
 from repro.crypto.onion import OnionAddress
 from repro.crypto.ring import HSDIRS_PER_REPLICA
@@ -48,3 +52,43 @@ def responsible_hsdirs(
     for replica in range(REPLICAS):
         result.extend(responsible_for_replica(consensus, onion, now, replica, count))
     return result
+
+
+def responsible_replica_lists_batch(
+    consensus: Consensus,
+    onions: Sequence[OnionAddress],
+    now: Timestamp,
+    count: int = HSDIRS_PER_REPLICA,
+) -> List[List[List[Fingerprint]]]:
+    """Per-replica responsible fingerprints for many onions in one pass.
+
+    Element ``[i][replica]`` is byte-identical to
+    ``responsible_for_replica(consensus, onions[i], now, replica, count)``;
+    the batch derives every descriptor ID through the shared secret-part
+    table and places all of them with one vectorised ring bisect.
+    """
+    id_lists = descriptor_ids_for_day_batch(onions, now)
+    flat = [desc_id for ids in id_lists for desc_id in ids]
+    placed = consensus.hsdir_ring.responsible_for_many(flat, count)
+    return [
+        placed[i * REPLICAS : (i + 1) * REPLICAS] for i in range(len(id_lists))
+    ]
+
+
+def responsible_hsdirs_batch(
+    consensus: Consensus,
+    onions: Sequence[OnionAddress],
+    now: Timestamp,
+    count: int = HSDIRS_PER_REPLICA,
+) -> List[List[Fingerprint]]:
+    """Batched :func:`responsible_hsdirs`: one replica-ordered list per onion.
+
+    Element *i* equals ``responsible_hsdirs(consensus, onions[i], now,
+    count)`` byte for byte, duplicates-on-tiny-rings behaviour included.
+    """
+    return [
+        [fp for replica_fps in per_replica for fp in replica_fps]
+        for per_replica in responsible_replica_lists_batch(
+            consensus, onions, now, count
+        )
+    ]

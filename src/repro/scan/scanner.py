@@ -81,14 +81,11 @@ class PortScanner:
         with obs.span(
             "scan.campaign", days=schedule.days, onions=len(onion_list)
         ):
-            for day_index, when, chunk in schedule:
+            for day_index, when, chunk, extra in schedule.expanded_campaign(
+                priority
+            ):
                 with obs.span("scan.day", day=day_index):
                     obs.add_time(DAY)
-                    # Priority ports already inside today's chunk must not
-                    # be probed twice: a duplicate probe burns extra draws
-                    # from the fault/noise streams and its result silently
-                    # overwrites the chunk probe's.
-                    extra = [port for port in priority if port not in chunk]
 
                     def probe_onion(onion, _when=when, _chunk=chunk, _extra=extra):
                         if policy is None:

@@ -10,7 +10,7 @@ of the 87% coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.errors import AttackError
 from repro.sim.clock import DAY, Timestamp
@@ -50,11 +50,22 @@ class ScanSchedule:
         return range(lo, lo + size)
 
     def day_of_port(self, port: int) -> int:
-        """Which day a port is scanned on."""
-        for day_index in range(self.days):
-            if port in self.chunk_for_day(day_index):
-                return day_index
-        raise AttackError(f"port outside schedule: {port}")
+        """Which day a port is scanned on.
+
+        Closed-form inverse of :meth:`chunk_for_day`: the first ``extra``
+        days carry ``per_day + 1`` ports and the rest ``per_day``, so the
+        owning day falls out of one division per side of that boundary.
+        """
+        if not self.first_port <= port <= self.last_port:
+            raise AttackError(f"port outside schedule: {port}")
+        total = self.last_port - self.first_port + 1
+        per_day = total // self.days
+        extra = total % self.days
+        index = port - self.first_port
+        boundary = extra * (per_day + 1)
+        if index < boundary:
+            return index // (per_day + 1)
+        return extra + (index - boundary) // per_day
 
     def __iter__(self) -> Iterator[Tuple[int, Timestamp, range]]:
         """Yields (day_index, scan_time, port_range) triples."""
@@ -78,3 +89,39 @@ class ScanSchedule:
     def all_ports(self) -> List[range]:
         """Every per-day chunk (they partition the full range)."""
         return [self.chunk_for_day(d) for d in range(self.days)]
+
+    def expanded_campaign(
+        self, priority_ports: Iterable[int] = ()
+    ) -> List[Tuple[int, Timestamp, range, List[int]]]:
+        """The campaign with each day's extra priority probes expanded.
+
+        ``priority_ports`` are re-probed every day *except* the day whose
+        chunk already contains them (a duplicate probe would burn extra
+        draws from the fault/noise streams and silently overwrite the
+        chunk probe's result).  The batch assigns each priority port its
+        owning day once through the :meth:`day_of_port` inverse instead of
+        testing every port against every day's chunk; each day's extras
+        come out sorted, exactly as the scanner's per-day filter built
+        them.  Ports outside the schedule's range have no owning day and
+        are extra on every day.
+        """
+        priority = sorted(set(priority_ports))
+        owners = [
+            self.day_of_port(port)
+            if self.first_port <= port <= self.last_port
+            else None
+            for port in priority
+        ]
+        return [
+            (
+                day_index,
+                when,
+                chunk,
+                [
+                    port
+                    for port, owner in zip(priority, owners)
+                    if owner != day_index
+                ],
+            )
+            for day_index, when, chunk in self.campaign()
+        ]

@@ -11,7 +11,7 @@ functions — never with simulator ground truth.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.crypto.descriptor_id import REPLICAS, DescriptorId, descriptor_id
 from repro.crypto.keys import Fingerprint
@@ -23,7 +23,10 @@ from repro.dirauth.voting import FlagPolicy
 from repro.errors import SimulationError
 from repro.hs.service import HiddenService
 from repro.hsdir.directory import HSDirServer, StoredDescriptor
-from repro.hsdir.ring_view import responsible_for_replica
+from repro.hsdir.ring_view import (
+    responsible_for_replica,
+    responsible_replica_lists_batch,
+)
 from repro.relay.relay import Relay
 from repro.sim.clock import HOUR, SimClock, Timestamp
 from repro.sim.rng import derive_rng
@@ -212,12 +215,45 @@ class TorNetwork:
             fingerprints.extend(self.consensus.hsdir_ring.responsible_for(desc_id))
         return frozenset(fingerprints)
 
-    def publish_service(self, service: HiddenService, now: Optional[Timestamp] = None) -> int:
+    def responsible_replica_lists_batch(
+        self, onions: Sequence[OnionAddress], now: Optional[Timestamp] = None
+    ) -> List[List[List[Fingerprint]]]:
+        """Per-replica responsible fingerprints for many onions at once.
+
+        Element ``[i][replica]`` is byte-identical to the scalar
+        ``responsible_for_replica`` chain behind :meth:`responsible_set`;
+        the batch shares one secret-part table and one vectorised ring
+        bisect across the whole population.
+        """
+        if now is None:
+            now = self.clock.now
+        return responsible_replica_lists_batch(self.consensus, onions, now)
+
+    def responsible_sets_batch(
+        self, onions: Sequence[OnionAddress], now: Optional[Timestamp] = None
+    ) -> List[frozenset]:
+        """Batched :meth:`responsible_set`: one frozenset per onion."""
+        return [
+            frozenset(fp for replica_fps in per_replica for fp in replica_fps)
+            for per_replica in self.responsible_replica_lists_batch(onions, now)
+        ]
+
+    def publish_service(
+        self,
+        service: HiddenService,
+        now: Optional[Timestamp] = None,
+        responsible_per_replica: Optional[Sequence[Sequence[Fingerprint]]] = None,
+    ) -> int:
         """Upload both replicas of ``service`` to the responsible HSDirs.
 
         Returns the number of directories that accepted the upload (up to
         ``REPLICAS * 3``; fewer if responsible relays are not in the network
         map, which cannot happen for consensus-derived fingerprints).
+
+        ``responsible_per_replica`` lets a caller that already batched the
+        placement (``responsible_replica_lists_batch``) hand the per-replica
+        fingerprint lists in; when omitted the scalar derivation runs here,
+        and both paths deliver to identical directories in identical order.
         """
         if now is None:
             now = self.clock.now
@@ -233,14 +269,23 @@ class TorNetwork:
         )
         delivered = 0
         for descriptor in service.current_descriptors(now):
-            for fingerprint in responsible_for_replica(
-                self.consensus, service.onion, now, descriptor.replica
-            ):
+            responsible = (
+                responsible_per_replica[descriptor.replica]
+                if responsible_per_replica is not None
+                else responsible_for_replica(
+                    self.consensus, service.onion, now, descriptor.replica
+                )
+            )
+            # One frozen StoredDescriptor shared across all responsible
+            # directories — to_stored() per upload used to dominate the
+            # publish loop at harvest scale.
+            stored = descriptor.to_stored()
+            for fingerprint in responsible:
                 relay = self._relays_by_fingerprint.get(fingerprint)
                 if relay is None:
                     continue
                 server = self._hsdir_servers[relay.relay_id]
-                server.store(descriptor.to_stored(), now)
+                server.store(stored, now)
                 delivered += 1
                 if guards is not None:
                     trace = PublishTrace(

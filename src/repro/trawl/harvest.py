@@ -9,13 +9,18 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.crypto.descriptor_id import DescriptorId
 from repro.crypto.onion import OnionAddress, onion_address_from_key
-from repro.crypto.ring import HSDIRS_PER_REPLICA
+from repro.crypto.ring import HSDIRS_PER_REPLICA, ring_start_indices
 from repro.hsdir.directory import HSDirServer
 from repro.sim.clock import HOUR, Timestamp
+
+try:  # numpy accelerates the batched observation pass; scalar path is complete
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
 
 
 @dataclass
@@ -194,3 +199,82 @@ class RingHistory:
         if weighted <= 0:
             weighted = HOUR
         return (found + missing) * window / weighted
+
+    def _attacker_slot_matrix(
+        self, points: Sequence[int], per_replica: int
+    ) -> List[Optional[List[int]]]:
+        """Per snapshot, the attacker slot count of every query point.
+
+        The batched half of the observation pass: one vectorised ring
+        bisect (:func:`ring_start_indices`) plus a wrapped prefix sum over
+        the snapshot's attacker-membership flags answers all points at
+        once.  Row ``None`` stands for an empty-ring snapshot (slot 0 for
+        every ID, as the scalar loop records).  Entry ``[s][i]`` always
+        equals the scalar ``_attacker_slots`` count of point *i* at
+        snapshot *s*.
+        """
+        matrix: List[Optional[List[int]]] = []
+        for _, positions, attacker in self.snapshots:
+            if not positions:
+                matrix.append(None)
+                continue
+            size = len(positions)
+            take = min(per_replica, size)
+            starts = ring_start_indices(points, positions)
+            flags = [1 if p in attacker else 0 for p in positions]
+            # ``flags`` extended past the wrap point: index ``start + i``
+            # reads the same member the scalar ``(start + i) % size`` does,
+            # for any bisect_right result in [0, size].
+            extended = flags + flags[:take]
+            if _np is not None and len(points) >= 8:
+                prefix = _np.concatenate(
+                    ([0], _np.cumsum(_np.asarray(extended, dtype=_np.int64)))
+                )
+                starts_arr = _np.asarray(starts, dtype=_np.int64)
+                matrix.append((prefix[starts_arr + take] - prefix[starts_arr]).tolist())
+            else:
+                prefix = [0]
+                for flag in extended:
+                    prefix.append(prefix[-1] + flag)
+                matrix.append([prefix[s + take] - prefix[s] for s in starts])
+        return matrix
+
+    def normalized_rates_batch(
+        self,
+        requests: Sequence[
+            Tuple[DescriptorId, int, int, Optional[Tuple[Timestamp, Timestamp]]]
+        ],
+        window: int = 2 * HOUR,
+        per_replica: int = HSDIRS_PER_REPLICA,
+    ) -> List[float]:
+        """Batched :meth:`normalized_rate` over ``(id, found, missing,
+        validity)`` requests.
+
+        The slot matrix is computed once for all IDs; each ID's weighted
+        coverage is then accumulated snapshot by snapshot with exactly the
+        scalar expression and term order (validity filter, empty-ring
+        zeros, full-sweep fallback, ``HOUR`` floor included), so element
+        *i* is bit-identical to ``normalized_rate(*requests[i], window)``.
+        """
+        points = [int.from_bytes(desc_id, "big") for desc_id, _, _, _ in requests]
+        matrix = self._attacker_slot_matrix(points, per_replica)
+        take = per_replica
+        whens = [when for when, _, _ in self.snapshots]
+        rates: List[float] = []
+        for column, (_, found, missing, validity) in enumerate(requests):
+            weighted: float = 0
+            for when, row in zip(whens, matrix):
+                if validity is not None and not (
+                    when - HOUR < validity[1] and when > validity[0]
+                ):
+                    continue
+                weighted = weighted + HOUR * (0 if row is None else row[column]) / take
+            if weighted <= 0 and validity is not None:
+                for row in matrix:
+                    weighted = (
+                        weighted + HOUR * (0 if row is None else row[column]) / take
+                    )
+            if weighted <= 0:
+                weighted = HOUR
+            rates.append((found + missing) * window / weighted)
+        return rates

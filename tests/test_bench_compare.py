@@ -99,6 +99,72 @@ class TestCompareTrajectories:
         assert compare_trajectories(baseline, current).exit_code == EXIT_OK
 
 
+class TestMixedTierTrajectories:
+    """A paper-tier point diffed against a small-tier baseline is a harness
+    verdict (exit 2), never a phantom regression (exit 1) and never green."""
+
+    def test_disjoint_tiers_exit_not_comparable(self):
+        baseline = trajectory_with(0.1)  # smoke-tier cell only
+        current = trajectory_with(9.0, items=5_000)
+        current.points[0] = replace(current.points[0], tier="paper")
+        result = compare_trajectories(baseline, current)
+        assert result.exit_code == EXIT_NOT_COMPARABLE
+        assert not result.points  # no cell was (mis)compared across tiers
+
+    def test_unmatched_current_cell_blocks_green(self):
+        # Shared smoke cell is fine, but the current run also carries a
+        # paper point the baseline cannot vouch for: the small cells must
+        # not paint the whole run green.
+        baseline = trajectory_with(1.0)
+        current = trajectory_with(1.0)
+        current.points.append(
+            replace(trajectory_with(9.0, items=5_000).points[0], tier="paper")
+        )
+        result = compare_trajectories(baseline, current)
+        assert result.exit_code == EXIT_NOT_COMPARABLE
+        assert len(result.points) == 1  # the shared cell was still judged
+        assert not result.points[0].regressed
+        assert any("no baseline" in message for message in result.messages)
+
+    def test_baseline_only_cells_stay_green(self):
+        # The committed baseline legitimately carries history (paper
+        # points) that a small-tier CI run does not revisit.
+        baseline = trajectory_with(1.0)
+        baseline.points.append(
+            replace(trajectory_with(9.0, items=5_000).points[0], tier="paper")
+        )
+        assert compare_trajectories(baseline, trajectory_with(1.0)).exit_code == EXIT_OK
+
+    def test_regression_outranks_mixed_tiers(self):
+        baseline = trajectory_with(1.0)
+        current = trajectory_with(5.0)  # real regression in the shared cell
+        current.points.append(
+            replace(trajectory_with(9.0, items=5_000).points[0], tier="paper")
+        )
+        assert (
+            compare_trajectories(baseline, current).exit_code == EXIT_REGRESSION
+        )
+
+    def test_items_changed_cell_blocks_green_despite_ok_sibling(self):
+        baseline = Trajectory(
+            name="toy",
+            points=[
+                trajectory_with(1.0, items=64).points[0],
+                replace(trajectory_with(1.0, items=64).points[0], kernel="scalar"),
+            ],
+        )
+        current = Trajectory(
+            name="toy",
+            points=[
+                trajectory_with(1.0, items=64).points[0],
+                replace(trajectory_with(1.0, items=128).points[0], kernel="scalar"),
+            ],
+        )
+        result = compare_trajectories(baseline, current)
+        assert result.exit_code == EXIT_NOT_COMPARABLE
+        assert any("changed size" in message for message in result.messages)
+
+
 class TestCompareWithin:
     def test_two_runs_of_one_cell(self):
         trajectory = trajectory_with(1.0)
