@@ -197,6 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store.add_argument("action", choices=("ls", "gc", "verify"))
     store.add_argument(
+        "--keep-epochs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "gc only: ledger-aware retention — keep the newest N ledgered "
+            "runs' artifacts (a service epoch ledgers as one run), unindex "
+            "everything older, then sweep unreferenced objects"
+        ),
+    )
+    store.add_argument(
         "--src",
         default="src/repro",
         metavar="PATH",
@@ -440,6 +451,83 @@ def build_parser() -> argparse.ArgumentParser:
             "require at least N injected crashes, at N distinct crash "
             "points, for the test to count (default: 5)"
         ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="measurement-as-a-service: run epochs, then serve the query API",
+        description=(
+            "Runs --epochs supervised harvest->scan->certificates->crawl->"
+            "classify->popularity epochs against a deterministically "
+            "evolving world, checkpointing every stage through the store "
+            "(epoch-pinned ledger runs, warm resume after crashes), then "
+            "serves the per-epoch query views — rankings, port histograms, "
+            "topic breakdowns, dossiers, deltas — over HTTP/JSON with "
+            "digest ETags and conditional 304s."
+        ),
+    )
+    _add_common(serve, scale_default=0.05)
+    _add_fault_profile(serve)
+    _add_metrics_out(serve)
+    serve.add_argument(
+        "--epochs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="measurement epochs to compute before serving (default: 3)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        metavar="PORT",
+        help="HTTP port to bind (default: 8750)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--http-workers",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bound on concurrently handled HTTP requests (default: 8)",
+    )
+    serve.add_argument(
+        "--crash-profile",
+        default=None,
+        metavar="NAME",
+        help=(
+            "per-epoch crash schedule: none, light, moderate, heavy, or an "
+            "explicit label@visit,... schedule (default: $REPRO_CRASHES, "
+            "then none); epochs warm-resume through the store after every "
+            "injected death"
+        ),
+    )
+    serve.add_argument(
+        "--sweep-hours",
+        type=int,
+        default=12,
+        metavar="H",
+        help="harvest/popularity sweep length per epoch (default: 12)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "epoch checkpoint store (default: $REPRO_STORE, then "
+            ".repro-service-store); a warm store replays finished epochs "
+            "instead of recomputing them"
+        ),
+    )
+    serve.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="compute the epochs and exit without binding the port",
     )
 
     return parser
@@ -709,6 +797,23 @@ def _run_store(args) -> int:
             print(line)
         return 0
     if args.action == "gc":
+        if args.keep_epochs is not None:
+            from repro.errors import StoreError
+            from repro.store.admin import retain_recent_runs
+
+            try:
+                unindexed, removed, freed = retain_recent_runs(
+                    store, args.keep_epochs
+                )
+            except StoreError as exc:
+                print(f"repro store: error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"[gc: retired {unindexed} index entr(ies), removed "
+                f"{removed} object(s), freed {freed} bytes; kept newest "
+                f"{args.keep_epochs} run(s)]"
+            )
+            return 0
         removed, freed = gc(store)
         print(f"[gc: removed {removed} object(s), freed {freed} bytes]")
         return 0
@@ -1037,6 +1142,73 @@ def _run_crashtest(args) -> int:
     return 1 if failures else 0
 
 
+def _run_serve(args) -> int:
+    from repro.errors import ConfigError
+    from repro.obs.scope import Observer
+    from repro.service import (
+        EpochController,
+        ServiceConfig,
+        ServiceRouter,
+        serve,
+    )
+    from repro.service.schema import SCHEMA_VERSION
+    from repro.store import resolve_store_dir
+
+    try:
+        config = ServiceConfig(
+            seed=args.seed,
+            scale=args.scale,
+            epochs=args.epochs,
+            workers=args.workers,
+            fault_profile=args.fault_profile,
+            crash_profile=args.crash_profile,
+            sweep_hours=args.sweep_hours,
+        )
+    except ConfigError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+
+    store_root = resolve_store_dir(args.store) or ".repro-service-store"
+    observer = Observer(name="service")
+    controller = EpochController(config, store_root, observer=observer)
+    records = controller.run()
+    for record in records:
+        print(
+            f"[epoch {record.epoch}: run={record.run_id} "
+            f"crashes={record.crashes} restarts={record.restarts} "
+            f"sim_seconds={record.sim_seconds}]"
+        )
+    if args.json:
+        repro_io.save_json(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": "epochs",
+                "epochs": [record.summary() for record in records],
+            },
+            args.json,
+        )
+        print(f"[epoch listing archived to {args.json}]")
+    # Snapshot before binding: the epochs are the deterministic part, and a
+    # daemon killed by signal (the normal way this command ends) would
+    # otherwise never write one.
+    _write_metrics(observer, args)
+
+    router = ServiceRouter(controller.records, observer)
+    if args.no_serve:
+        print(f"[{len(records)} epoch(s) computed; store: {store_root}]")
+        return 0
+    server = serve(
+        router, host=args.host, port=args.port, workers=args.http_workers
+    )
+    print(
+        f"[serving on http://{args.host}:{args.port} — "
+        f"{len(records)} epoch(s) ready]",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
 def _run_bench(args) -> int:
     from repro.errors import BenchError
 
@@ -1065,6 +1237,7 @@ _RUNNERS = {
     "lint": _run_lint,
     "bench": _run_bench,
     "crashtest": _run_crashtest,
+    "serve": _run_serve,
 }
 
 

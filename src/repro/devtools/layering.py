@@ -31,6 +31,10 @@ _MEASUREMENT_LAYERS = frozenset(
         "detection",
         "experiments",
         "popularity",
+        # The service plane orchestrates experiments and serves their
+        # views; it sits at the top of the graph like the experiments
+        # layer, so every substrate below is forbidden from importing it.
+        "service",
         "tracking",
         "trawl",
     }

@@ -1,4 +1,4 @@
-"""Per-file AST rules REP001–REP005, REP007–REP010 and REP014.
+"""Per-file AST rules REP001–REP005, REP007–REP010, REP014 and REP015.
 
 Each rule walks the file's AST and yields :class:`Finding` objects.  The
 rules are deliberately syntactic — no type inference — so every pattern
@@ -771,3 +771,63 @@ class SupervisionContainmentRule(AstRule):
                 "outside the supervision plane; handler installs belong "
                 "to repro.supervise so teardown has a single owner",
             )
+
+
+#: Top-level modules whose direct use is socket/HTTP plumbing outside the
+#: service front-end.
+_NETWORK_MODULES = (
+    "asyncio",
+    "http",
+    "selectors",
+    "socket",
+    "socketserver",
+    "wsgiref",
+)
+
+#: Where raw socket/HTTP handling is sanctioned: the service front-end
+#: owns the one listener, and tests/examples may drive it as clients.
+_NETWORK_EXEMPT_FRAGMENTS = ("repro/service/", "tests/", "examples/")
+
+
+@register
+class RawNetworkRule(AstRule):
+    """REP015: raw socket/HTTP handling outside ``repro/service``.
+
+    The HTTP front-end is the project's single network boundary — one
+    place that binds ports, frames requests, and maps errors onto the
+    4xx/5xx taxonomy.  A second ad-hoc listener (or a stray ``socket``
+    import in a measurement layer) would fork that boundary and bypass
+    the bounded handler pool, the digest-ETag caching, and the
+    observer's request accounting.
+    """
+
+    id = "REP015"
+    summary = "raw socket/HTTP handling (route it through repro.service)"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not any(
+            fragment in ctx.path for fragment in _NETWORK_EXEMPT_FRAGMENTS
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.nodes:
+            flagged = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _NETWORK_MODULES:
+                        flagged = alias.name
+                        break
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in _NETWORK_MODULES:
+                    flagged = node.module
+            if flagged:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"raw network import {flagged!r}; socket/HTTP handling "
+                    "belongs to repro.service, which owns the project's "
+                    "single listener, response framing, and error taxonomy",
+                )

@@ -108,6 +108,14 @@ class SupervisionError(ReproError):
     """A crash plan, restart policy, or deadline budget is invalid."""
 
 
+class ServiceError(ReproError):
+    """The measurement service (epoch controller or query API) failed."""
+
+
+class ServiceSchemaError(ServiceError):
+    """A service response envelope does not match the documented schema."""
+
+
 class SimulatedCrashError(BaseException):
     """An injected process death (crash-point testing, repro.supervise).
 

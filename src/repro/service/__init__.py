@@ -1,0 +1,65 @@
+"""Measurement-as-a-service: epoch controller, results layer, query API.
+
+The service plane turns the one-shot measurement pipeline into a
+long-running daemon, split the way stem splits its controller from its
+socket layer:
+
+- :mod:`repro.service.controller` sequences supervised harvest → scan →
+  certificates → crawl → classify → popularity → views epochs against a
+  deterministically evolving world, checkpointing every stage through
+  ``repro.store`` under an epoch-pinned ledger run id;
+- :mod:`repro.service.results` materializes the per-epoch query views
+  (rankings, port histograms, topic breakdowns, dossiers, deltas) as
+  CAS-backed envelopes with stable digests;
+- :mod:`repro.service.api` + :mod:`repro.service.http` frame those views
+  over HTTP/JSON with digest ETags, conditional 304s, a bounded handler
+  pool, and the 4xx/5xx taxonomy mapped from ``repro.errors``;
+- :mod:`repro.service.client` is the in-process twin of the HTTP
+  front-end, so the whole daemon is testable without sockets.
+"""
+
+from repro.service.api import Response, ServiceRouter, etag_of, status_of
+from repro.service.client import ClientResponse, InProcessClient
+from repro.service.config import ServiceConfig
+from repro.service.controller import (
+    SERVICE_EPOCH_STAGES,
+    EpochController,
+    EpochRecord,
+    ServiceEpochRun,
+    epoch_run_id,
+)
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.results import build_views, dossier_envelope
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    VIEW_KINDS,
+    check_view,
+    check_views,
+    error_envelope,
+    view_envelope,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SERVICE_EPOCH_STAGES",
+    "VIEW_KINDS",
+    "ClientResponse",
+    "EpochController",
+    "EpochRecord",
+    "InProcessClient",
+    "Response",
+    "ServiceConfig",
+    "ServiceEpochRun",
+    "ServiceHTTPServer",
+    "ServiceRouter",
+    "build_views",
+    "check_view",
+    "check_views",
+    "dossier_envelope",
+    "epoch_run_id",
+    "error_envelope",
+    "etag_of",
+    "serve",
+    "status_of",
+    "view_envelope",
+]

@@ -1,0 +1,53 @@
+"""A deterministic in-process client over the router — no sockets.
+
+The API's contract lives in :meth:`ServiceRouter.handle`; this client
+exercises exactly that surface, so the determinism tests (identical
+epoch + identical query ⇒ byte-identical body and ETag at any worker
+count, clean or faulted) run without binding a port or depending on
+socket timing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.service.api import ServiceRouter
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """One response as the in-process client surfaces it."""
+
+    status: int
+    headers: Mapping[str, str]
+    body: bytes
+
+    @property
+    def etag(self) -> Optional[str]:
+        return self.headers.get("ETag")
+
+    def json(self) -> Dict[str, Any]:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class InProcessClient:
+    """GETs against a router, bypassing HTTP entirely."""
+
+    def __init__(self, router: ServiceRouter) -> None:
+        self.router = router
+
+    def get(
+        self, path: str, headers: Optional[Mapping[str, str]] = None
+    ) -> ClientResponse:
+        response = self.router.handle("GET", path, headers)
+        return ClientResponse(
+            status=response.status,
+            headers=dict(response.headers),
+            body=response.body,
+        )
+
+    def get_conditional(self, path: str, etag: str) -> ClientResponse:
+        """A conditional re-fetch: the 304 path readers exercise."""
+        return self.get(path, headers={"If-None-Match": etag})

@@ -1,0 +1,47 @@
+"""Service configuration: one record, resolved through the batch chains.
+
+The epoch controller takes its worker count, fault profile, and crash
+schedule exactly as the batch CLI does — ``workers`` and
+``fault_profile`` stay ``Optional`` here and flow unresolved into
+:class:`~repro.experiments.pipeline.MeasurementPipeline` /
+:func:`~repro.supervise.crashplan.build_crash_plan`, so the existing
+argument → environment → default chains (``$REPRO_WORKERS``,
+``$REPRO_FAULTS``, ``$REPRO_CRASHES``) remain the single source of
+truth.  There is deliberately no second resolution path in the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that shapes the epochs a service run computes."""
+
+    seed: int = 0
+    scale: float = 0.05
+    epochs: int = 3
+    #: Worker count for stage fan-outs; ``None`` defers to $REPRO_WORKERS.
+    workers: Optional[int] = None
+    #: Fault profile name; ``None`` defers to $REPRO_FAULTS.
+    fault_profile: Optional[str] = None
+    #: Crash profile or explicit schedule; ``None`` defers to $REPRO_CRASHES.
+    crash_profile: Optional[str] = None
+    scan_days: int = 8
+    sweep_hours: int = 12
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigError(f"--epochs must be >= 1, got {self.epochs}")
+        if self.scale <= 0:
+            raise ConfigError(f"--scale must be > 0, got {self.scale}")
+        if self.scan_days < 1:
+            raise ConfigError(f"--scan-days must be >= 1, got {self.scan_days}")
+        if self.sweep_hours < 1:
+            raise ConfigError(
+                f"--sweep-hours must be >= 1, got {self.sweep_hours}"
+            )

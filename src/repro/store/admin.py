@@ -92,6 +92,37 @@ def gc(store: ArtifactStore) -> Tuple[int, int]:
     return removed, freed
 
 
+def retain_recent_runs(store: ArtifactStore, keep: int) -> Tuple[int, int, int]:
+    """Ledger-aware retention: keep the last ``keep`` runs' artifacts.
+
+    The ledger orders runs by first appearance; every (stage, key) the
+    kept runs touched — hit or miss — stays indexed, everything older is
+    unindexed, then a normal :func:`gc` sweeps the newly unreferenced
+    objects.  Returns ``(index_removed, objects_removed, bytes_freed)``.
+
+    A long-running service ledgers each epoch as one run
+    (``epoch-NNNNNN``), so ``keep`` is effectively "keep the last N
+    epochs"; crash restarts and warm replays share the epoch's run id and
+    never widen the root set.
+    """
+    if keep < 1:
+        raise StoreError(f"--keep-epochs must be >= 1, got {keep}")
+    summaries = store.ledger.run_summaries()
+    kept_runs = {summary["run"] for summary in summaries[-keep:]}
+    keep_keys = set()
+    for record in store.ledger.entries():
+        if record["run"] in kept_runs and record["event"] in ("hit", "miss"):
+            keep_keys.add((record["stage"], record["key"]))
+    index_removed = 0
+    for entry in list(iter_index(store)):
+        if (entry.stage, entry.key_digest) in keep_keys:
+            continue
+        entry.path.unlink()
+        index_removed += 1
+    objects_removed, bytes_freed = gc(store)
+    return index_removed, objects_removed, bytes_freed
+
+
 def verify(store: ArtifactStore) -> List[str]:
     """Problems found re-hashing every referenced and stored object.
 

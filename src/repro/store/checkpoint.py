@@ -93,7 +93,12 @@ class ArtifactStore:
     deterministic snapshot as everything else.
     """
 
-    def __init__(self, root: PathLike, observer: Optional[Observer] = None) -> None:
+    def __init__(
+        self,
+        root: PathLike,
+        observer: Optional[Observer] = None,
+        run_id: Optional[str] = None,
+    ) -> None:
         self.root = pathlib.Path(root)
         self.cas = ContentStore(self.root)
         self.ledger = Ledger(self.root / "ledger.jsonl")
@@ -103,7 +108,11 @@ class ArtifactStore:
         #: :class:`~repro.supervise.crashplan.CrashPoints` in here); called
         #: with a label at each commit point, may raise to simulate death.
         self.crash_point: Optional[Callable[[str], None]] = None
-        self.run_id = self.ledger.next_run_id()
+        #: Ledger run id.  Auto-allocated (``run-NNNNNN``) unless the caller
+        #: pins one — the service plane pins ``epoch-NNNNNN`` so every
+        #: incarnation of an epoch (crash restarts, warm re-runs) shares one
+        #: ledgered run and retention can reason per epoch.
+        self.run_id = run_id if run_id is not None else self.ledger.next_run_id()
         #: stage name → content digest of its most recent artifact (this
         #: process), which is how downstream stages chain upstream digests
         #: into their keys.

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 from repro.crypto.keys import KeyPair
 from repro.dirauth.authority import DirectoryAuthoritySet
+from repro.errors import ConfigError
 from repro.net.address import AddressPool
 from repro.relay.relay import Relay
 from repro.sim.clock import DAY, SimClock, Timestamp
@@ -36,6 +37,39 @@ class HonestNetworkSpec:
     min_age_days: int = 5
     max_age_days: int = 500
     or_port: int = 9001
+
+
+@dataclass(frozen=True)
+class EpochWorld:
+    """The deterministic identity of one service epoch's simulated world.
+
+    The service plane (``repro.service``) advances the world between epochs
+    by deriving a fresh population seed from the base seed and the epoch
+    index; epoch 0 keeps the base seed so the first service epoch is
+    byte-identical to the equivalent one-shot batch run.
+    """
+
+    epoch: int
+    seed: int
+    scale: float
+
+
+def advance_epoch(base_seed: int, scale: float, epoch: int) -> EpochWorld:
+    """Derive the world identity for ``epoch`` from the base seed.
+
+    Epoch 0 reuses ``base_seed`` verbatim; later epochs draw a fresh seed
+    from the lineage-tracked RNG tree so each epoch's population evolves
+    deterministically and independently of how many epochs ran before it.
+    """
+    if epoch < 0:
+        raise ConfigError(f"epoch must be >= 0, got {epoch}")
+    if epoch == 0:
+        seed = base_seed
+    else:
+        seed = derive_rng(base_seed, "service", "epoch", str(epoch)).randrange(
+            2**31
+        )
+    return EpochWorld(epoch=epoch, seed=seed, scale=scale)
 
 
 def build_honest_network(

@@ -90,3 +90,44 @@ def network():
 def network_and_pool():
     """Network plus its address pool (for tests that add relays)."""
     return make_network(seed=22)
+
+
+#: The service-plane test configuration: three supervised epochs at 2%
+#: scale under the moderate crash schedule.  Faults and workers stay
+#: unpinned so the CI matrix (REPRO_FAULTS / REPRO_WORKERS) flows
+#: through the controller exactly as it does through the batch CLI.
+SERVICE_SEED = 11
+SERVICE_SCALE = 0.02
+SERVICE_EPOCHS = 3
+SERVICE_SWEEP_HOURS = 4
+
+
+def make_service_config(**overrides):
+    """The shared service config, with per-test overrides."""
+    from repro.service import ServiceConfig
+
+    settings = dict(
+        seed=SERVICE_SEED,
+        scale=SERVICE_SCALE,
+        epochs=SERVICE_EPOCHS,
+        sweep_hours=SERVICE_SWEEP_HOURS,
+        crash_profile="moderate",
+    )
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+@pytest.fixture(scope="session")
+def service_store_root(tmp_path_factory):
+    """The session's service store directory (shared across epochs)."""
+    return str(tmp_path_factory.mktemp("service-store"))
+
+
+@pytest.fixture(scope="session")
+def service_controller(service_store_root):
+    """Three completed supervised epochs under the moderate crash plan."""
+    from repro.service import EpochController
+
+    controller = EpochController(make_service_config(), service_store_root)
+    controller.run()
+    return controller

@@ -1,0 +1,114 @@
+"""Lint rules guarding the service plane: REP015 and the REP006 layer."""
+
+import textwrap
+
+from repro.devtools import run_lint
+
+from tests.test_devtools_lint import lint_source, write_package
+
+
+class TestRep015RawNetwork:
+    def test_flags_socket_import(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "import socket\n", rules=["REP015"]
+        )
+        assert [finding.rule for finding in findings] == ["REP015"]
+        assert "raw network import 'socket'" in findings[0].message
+        assert "repro.service" in findings[0].message
+
+    def test_flags_http_server_from_import(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from http.server import ThreadingHTTPServer\n",
+            rules=["REP015"],
+        )
+        assert [finding.rule for finding in findings] == ["REP015"]
+        assert "'http.server'" in findings[0].message
+
+    def test_flags_socketserver_and_asyncio(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import socketserver\nimport asyncio\n",
+            rules=["REP015"],
+        )
+        assert [finding.rule for finding in findings] == ["REP015", "REP015"]
+        assert [finding.line for finding in findings] == [1, 2]
+
+    def test_non_network_imports_are_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import json\nimport threading\nfrom pathlib import Path\n",
+            rules=["REP015"],
+        )
+        assert findings == []
+
+    def test_http_client_inside_function_is_still_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            textwrap.dedent(
+                """
+                def fetch():
+                    import http.client
+                    return http.client
+                """
+            ),
+            rules=["REP015"],
+        )
+        assert [finding.rule for finding in findings] == ["REP015"]
+
+    def test_repro_service_files_are_exempt(self, tmp_path):
+        target = tmp_path / "repro" / "service" / "frontend.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import socket\nfrom http.server import HTTPServer\n")
+        findings = run_lint([str(target)], rule_ids=["REP015"]).findings
+        assert findings == []
+
+    def test_test_trees_are_exempt(self, tmp_path):
+        target = tmp_path / "tests" / "test_wire.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import http.client\n")
+        findings = run_lint([str(target)], rule_ids=["REP015"]).findings
+        assert findings == []
+
+
+class TestRep006ServiceLayer:
+    def test_substrate_importing_service_is_a_layer_violation(self, tmp_path):
+        write_package(
+            tmp_path / "pkg",
+            {
+                "store/checkpoint.py": "from pkg.service import api\n",
+                "service/api.py": "X = 1\n",
+            },
+        )
+        findings = run_lint(
+            [str(tmp_path / "pkg")], rule_ids=["REP006"]
+        ).findings
+        assert len(findings) == 1
+        assert "layer violation" in findings[0].message
+        assert "service" in findings[0].message
+
+    def test_service_importing_substrates_is_clean(self, tmp_path):
+        write_package(
+            tmp_path / "pkg",
+            {
+                "service/controller.py": (
+                    "from pkg.store import checkpoint\n"
+                    "from pkg.supervise import harness\n"
+                ),
+                "store/checkpoint.py": "X = 1\n",
+                "supervise/harness.py": "Y = 2\n",
+            },
+        )
+        findings = run_lint(
+            [str(tmp_path / "pkg")], rule_ids=["REP006"]
+        ).findings
+        assert findings == []
+
+
+class TestRealTreeIsClean:
+    def test_src_repro_has_no_rep015_findings(self):
+        import os
+
+        src = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+        findings = run_lint([src], rule_ids=["REP015"]).findings
+        assert findings == []

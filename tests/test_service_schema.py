@@ -1,0 +1,91 @@
+"""The service envelope schema: strict loaders, versioning, error frames."""
+
+import pytest
+
+from repro.errors import ServiceSchemaError
+from repro.service import (
+    SCHEMA_VERSION,
+    VIEW_KINDS,
+    check_view,
+    check_views,
+    error_envelope,
+    view_envelope,
+)
+
+
+def _envelope(kind="ranking", **overrides):
+    envelope = view_envelope(kind, epoch=2, seed=11, scale=0.02, body={"rows": []})
+    envelope.update(overrides)
+    return envelope
+
+
+class TestViewEnvelope:
+    def test_wraps_body_with_schema_stamp(self):
+        envelope = _envelope()
+        assert envelope["schema"] == SCHEMA_VERSION
+        assert envelope["kind"] == "ranking"
+        assert envelope["epoch"] == 2
+        assert envelope["body"] == {"rows": []}
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ServiceSchemaError, match="unknown view kind"):
+            view_envelope("bogus", epoch=0, seed=0, scale=1.0, body={})
+
+    def test_round_trips_through_check_view(self):
+        envelope = _envelope()
+        assert check_view(envelope) == envelope
+
+    def test_check_view_rejects_wrong_version(self):
+        with pytest.raises(ServiceSchemaError, match="schema version"):
+            check_view(_envelope(schema=SCHEMA_VERSION + 1))
+
+    def test_check_view_rejects_missing_field(self):
+        envelope = _envelope()
+        del envelope["epoch"]
+        with pytest.raises(ServiceSchemaError, match="missing field 'epoch'"):
+            check_view(envelope)
+
+    def test_check_view_rejects_wrong_type(self):
+        with pytest.raises(ServiceSchemaError, match="field 'body' has type"):
+            check_view(_envelope(body=[1, 2]))
+
+    def test_check_view_rejects_bool_as_int(self):
+        with pytest.raises(ServiceSchemaError, match="field 'epoch' has type"):
+            check_view(_envelope(epoch=True))
+
+    def test_check_view_rejects_non_mapping(self):
+        with pytest.raises(ServiceSchemaError, match="expected an object"):
+            check_view([])
+
+
+class TestCheckViews:
+    def _views(self):
+        return {kind: _envelope(kind) for kind in VIEW_KINDS}
+
+    def test_accepts_full_view_set(self):
+        views = self._views()
+        assert check_views(views) == views
+
+    def test_rejects_missing_kind(self):
+        views = self._views()
+        del views["delta"]
+        with pytest.raises(ServiceSchemaError, match="missing field 'delta'"):
+            check_views(views)
+
+    def test_rejects_mislabelled_entry(self):
+        views = self._views()
+        views["ports"] = _envelope("topics")
+        with pytest.raises(ServiceSchemaError, match="holds a 'topics' view"):
+            check_views(views)
+
+
+class TestErrorEnvelope:
+    def test_carries_status_type_and_message(self):
+        envelope = error_envelope(404, ServiceSchemaError("no such epoch"))
+        assert envelope["schema"] == SCHEMA_VERSION
+        assert envelope["kind"] == "error"
+        assert envelope["status"] == 404
+        assert envelope["error"] == {
+            "type": "ServiceSchemaError",
+            "message": "no such epoch",
+        }
